@@ -1,0 +1,103 @@
+// Command dipcbench regenerates the paper's tables and figures from the
+// simulation. Usage:
+//
+//	dipcbench [-window ms] [-full] [experiment ...]
+//
+// where each experiment is one of: anchors, fig1, fig2, table1, fig5,
+// fig6, fig7, fig8, sensitivity, all (default: all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	windowMs := flag.Float64("window", 250, "OLTP measurement window in milliseconds")
+	full := flag.Bool("full", false, "run the full-resolution sweeps (slower)")
+	flag.Parse()
+
+	window := sim.Millis(*windowMs)
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, a := range args {
+		want[strings.ToLower(a)] = true
+	}
+	sel := func(name string) bool { return want["all"] || want[name] }
+
+	if sel("anchors") {
+		f := experiments.MeasureFunc()
+		s := experiments.MeasureSyscall()
+		fmt.Printf("== Scalar anchors (§2.2) ==\n")
+		fmt.Printf("  function call: %s (paper: <2ns)\n", f.Mean)
+		fmt.Printf("  empty syscall: %s (paper: ~34ns)\n\n", s.Mean)
+	}
+	if sel("table1") {
+		fmt.Println(experiments.RunTable1(4096).Render())
+	}
+	if sel("fig2") {
+		fmt.Println(experiments.RunFig2().Render())
+	}
+	if sel("fig5") {
+		fmt.Println(experiments.RunFig5().Render())
+	}
+	if sel("fig6") {
+		max := 14
+		if *full {
+			max = 20
+		}
+		fmt.Println(experiments.RunFig6(experiments.Fig6Sizes(max)).Render())
+	}
+	if sel("fig7") {
+		var sizes []int
+		step := 4
+		if *full {
+			step = 1
+		}
+		for p := 0; p <= 12; p += step {
+			sizes = append(sizes, 1<<p)
+		}
+		fmt.Println(experiments.RunFig7(sizes).Render())
+	}
+	if sel("fig1") {
+		fmt.Println(experiments.RunFig1(window).Render())
+	}
+	if sel("fig8") {
+		threads := []int{4, 16, 64}
+		if *full {
+			threads = experiments.Fig8Threads
+		}
+		for _, inMem := range []bool{false, true} {
+			fmt.Println(experiments.RunFig8(inMem, threads, window).Render())
+		}
+	}
+	if sel("sensitivity") {
+		fmt.Println(experiments.RunSensitivity(16, window).Render())
+	}
+	if sel("ablations") {
+		fmt.Println(experiments.RunTLSAblation().Render())
+		fmt.Println(experiments.RunSharedPTAblation(16, window).Render())
+		fmt.Println(experiments.RunStealAblation(16, window).Render())
+	}
+	known := []string{"anchors", "table1", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "sensitivity", "ablations", "all"}
+	for a := range want {
+		found := false
+		for _, k := range known {
+			if a == k {
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n", a, strings.Join(known, ", "))
+			os.Exit(2)
+		}
+	}
+}

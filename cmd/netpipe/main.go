@@ -1,0 +1,41 @@
+// Command netpipe runs the driver-isolation case study (§7.3): a
+// netpipe-style latency/bandwidth sweep over an Infiniband-like NIC with
+// the user-level driver isolated by the chosen mechanism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps/netpipe"
+)
+
+func main() {
+	variant := flag.String("variant", "dipc", "bare, dipc, dipcproc, kernel, sem, pipe")
+	maxPow := flag.Int("maxpow", 12, "largest transfer size as a power of two")
+	rounds := flag.Int("rounds", 100, "latency rounds / bandwidth messages per size")
+	flag.Parse()
+
+	variants := map[string]netpipe.Variant{
+		"bare": netpipe.Bare, "dipc": netpipe.DIPC, "dipcproc": netpipe.DIPCProc,
+		"kernel": netpipe.Kernel, "sem": netpipe.Sem, "pipe": netpipe.Pipe,
+	}
+	v, ok := variants[*variant]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+	fmt.Printf("%-10s %14s %14s %12s %12s\n", "size[B]", "latency", "bare lat", "lat ovh[%]", "bw ovh[%]")
+	for p := 0; p <= *maxPow; p++ {
+		size := 1 << p
+		bareLat := netpipe.Setup(netpipe.Bare, 1).RunLatency(size, *rounds)
+		lat := netpipe.Setup(v, 1).RunLatency(size, *rounds)
+		bareBW := netpipe.Setup(netpipe.Bare, 1).RunBandwidth(size, *rounds)
+		bw := netpipe.Setup(v, 1).RunBandwidth(size, *rounds)
+		fmt.Printf("%-10d %14s %14s %12.2f %12.2f\n",
+			size, lat, bareLat,
+			(float64(lat)-float64(bareLat))/float64(bareLat)*100,
+			(1-bw/bareBW)*100)
+	}
+}

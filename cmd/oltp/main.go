@@ -1,0 +1,50 @@
+// Command oltp runs one configuration of the multi-tier OLTP web
+// benchmark (§7.4) and prints its throughput, latency and time
+// breakdown. Example:
+//
+//	oltp -mode dipc -threads 64 -inmem -window 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps/oltp"
+	"repro/internal/sim"
+)
+
+func main() {
+	mode := flag.String("mode", "linux", "configuration: linux, dipc, ideal")
+	threads := flag.Int("threads", 16, "threads per component (4..512 in the paper)")
+	inmem := flag.Bool("inmem", false, "in-memory (tmpfs) database instead of on-disk")
+	windowMs := flag.Float64("window", 250, "measurement window [ms]")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	var m oltp.Mode
+	switch *mode {
+	case "linux":
+		m = oltp.ModeLinux
+	case "dipc":
+		m = oltp.ModeDIPC
+	case "ideal":
+		m = oltp.ModeIdeal
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	r := oltp.Run(oltp.Config{
+		Mode:     m,
+		InMemory: *inmem,
+		Threads:  *threads,
+		Window:   sim.Millis(*windowMs),
+		Seed:     *seed,
+	})
+	fmt.Printf("config:      %s, %d threads/component, in-memory=%v\n", m, *threads, *inmem)
+	fmt.Printf("throughput:  %.0f ops/min (%d ops in %v)\n", r.Throughput, r.Ops, r.Config.Window)
+	fmt.Printf("latency:     %s mean\n", r.AvgLatency)
+	fmt.Printf("breakdown:   user %.1f%%  kernel %.1f%%  idle %.1f%%\n",
+		100*r.UserShare(), 100*r.KernelShare(), 100*r.IdleShare())
+	fmt.Printf("calls/op:    %.1f cross-tier calls\n", r.CallsPerOp)
+}

@@ -1,0 +1,107 @@
+// Plugin isolation: asymmetric policies inside one process (§2.4).
+//
+// An application loads an untrusted plugin into a separate CODOMs domain
+// of its own process using the loader's compiler-annotation manifest.
+// The isolation is asymmetric: the application can read the plugin's
+// memory directly (no IPC, no proxies), but the plugin cannot touch the
+// application — and when the plugin crashes, the fault unwinds to the
+// application as an error instead of killing it.
+//
+//	go run ./examples/plugin
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/codoms"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/kernel"
+	"repro/internal/loader"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func main() {
+	eng := sim.NewEngine(7)
+	machine := kernel.NewMachine(eng, cost.Default(), 1)
+	rt := core.NewRuntime(machine)
+	app := rt.NewProcess("app")
+
+	calls := 0
+	manifest := &loader.Manifest{
+		Name: "app-with-plugin",
+		Domains: []loader.DomainSpec{
+			{Name: "plugin", DataBytes: 64 << 10},
+		},
+		Perms: []loader.PermSpec{
+			// dipc_perm: the app may read the plugin's pool directly;
+			// nothing grants the plugin access back.
+			{Src: "default", Dst: "plugin", Perm: core.PermRead},
+		},
+	}
+
+	machine.Spawn(app, "main", nil, func(t *kernel.Thread) {
+		im, err := loader.Load(t, rt, manifest)
+		if err != nil {
+			panic(err)
+		}
+		arch := rt.Arch()
+		appTag := im.Domains["default"].Tag()
+		plugTag := im.Domains["plugin"].Tag()
+		fmt.Printf("app->plugin APL: %v; plugin->app APL: %v (asymmetric)\n",
+			arch.APLPerm(appTag, plugTag), arch.APLPerm(plugTag, appTag))
+
+		// Export a plugin entry point in the plugin domain and import
+		// it from the app side of the same process.
+		eh, err := rt.EntryRegister(t, im.Domains["plugin"], []core.EntryDesc{{
+			Name: "render",
+			Fn: func(t *kernel.Thread, in *core.Args) *core.Args {
+				calls++
+				t.ExecUser(50 * sim.Nanosecond)
+				if in.Regs[0] == 13 { // unlucky input: the plugin crashes
+					core.Fault(t, errors.New("plugin dereferenced a bad pointer"))
+				}
+				return &core.Args{Regs: []uint64{in.Regs[0] * 2}}
+			},
+			Sig: core.Signature{InRegs: 1, OutRegs: 1},
+		}})
+		if err != nil {
+			panic(err)
+		}
+		domP, ents, err := rt.EntryRequest(t, eh, []core.EntryDesc{{
+			Name: "render", Sig: core.Signature{InRegs: 1, OutRegs: 1},
+			// The app protects its registers and stack from the plugin.
+			Policy: core.RegIntegrity | core.StackConfIntegrity,
+		}})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := rt.GrantCreate(t, im.Domains["default"], domP); err != nil {
+			panic(err)
+		}
+
+		// Normal call.
+		out, err := ents[0].Call(t, &core.Args{Regs: []uint64{21}})
+		fmt.Printf("render(21) = %d, err=%v\n", out.Regs[0], err)
+
+		// Crashing call: the fault unwinds through the proxy and comes
+		// back as an error — exception semantics, not a dead process.
+		_, err = ents[0].Call(t, &core.Args{Regs: []uint64{13}})
+		fmt.Printf("render(13) -> recovered error: %v\n", err)
+		fmt.Printf("app survived; KCS depth=%d, still in %q\n",
+			core.KCSDepth(t), t.Process().Name)
+
+		// Direct (proxy-free) read of the plugin's pool, allowed by the
+		// asymmetric grant; and the reverse check fails.
+		plugData, err := rt.DomMmap(t, im.Domains["plugin"], mem.PageSize, mem.FlagWrite)
+		if err != nil {
+			panic(err)
+		}
+		readErr := arch.Check(t.HW, rt.PT, plugData, 8, codoms.AccessRead)
+		fmt.Printf("app reads plugin pool directly: err=%v\n", readErr)
+	})
+	eng.Run()
+	fmt.Printf("done: %d plugin calls\n", calls)
+}

@@ -1,0 +1,76 @@
+// Timeout splitting: the §5.4 extension. A caller invokes a slow service
+// with a deadline; when the deadline passes, dIPC "splits" the thread —
+// the caller resumes at the timing-out proxy with an error while the
+// callee's half keeps running and is reaped when it returns. The paper
+// designed but did not implement this; the reproduction does.
+//
+//	go run ./examples/timeout
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func main() {
+	eng := sim.NewEngine(3)
+	machine := kernel.NewMachine(eng, cost.Default(), 2)
+	rt := core.NewRuntime(machine)
+	slow := rt.NewProcess("slow-service")
+	client := rt.NewProcess("client")
+
+	machine.Spawn(slow, "svc-main", nil, func(t *kernel.Thread) {
+		if _, err := rt.EnterProcessCode(t); err != nil {
+			panic(err)
+		}
+		eh, err := rt.EntryRegister(t, rt.DomDefault(t), []core.EntryDesc{{
+			Name: "lookup",
+			Fn: func(t *kernel.Thread, in *core.Args) *core.Args {
+				// Simulate a stalled backend: 5 ms of I/O wait.
+				t.SleepFor(sim.Millis(5))
+				return &core.Args{Regs: []uint64{99}}
+			},
+			Sig: core.Signature{InRegs: 1, OutRegs: 1},
+			// Time-outs require split stacks (§5.4).
+			Policy: core.StackConfIntegrity,
+		}})
+		if err != nil {
+			panic(err)
+		}
+		if err := rt.Publish(t, "/run/slow.sock", eh); err != nil {
+			panic(err)
+		}
+	})
+
+	machine.Spawn(client, "client-main", nil, func(t *kernel.Thread) {
+		t.SleepFor(10 * sim.Microsecond)
+		if _, err := rt.EnterProcessCode(t); err != nil {
+			panic(err)
+		}
+		ents, err := rt.MustImport(t, "/run/slow.sock", []core.EntryDesc{{
+			Name: "lookup", Sig: core.Signature{InRegs: 1, OutRegs: 1},
+			Policy: core.StackConfIntegrity,
+		}})
+		if err != nil {
+			panic(err)
+		}
+
+		// Patient call: completes.
+		start := eng.Now()
+		out, err := ents[0].CallWithTimeout(t, &core.Args{Regs: []uint64{1}}, sim.Millis(50))
+		fmt.Printf("50ms deadline: result=%v err=%v after %v\n", out.Regs[0], err, eng.Now()-start)
+
+		// Impatient call: the thread splits and the caller resumes.
+		start = eng.Now()
+		_, err = ents[0].CallWithTimeout(t, &core.Args{Regs: []uint64{2}}, sim.Millis(1))
+		fmt.Printf("1ms deadline:  err=%v after %v\n", err, eng.Now()-start)
+		fmt.Printf("caller is alive in %q; the split-off callee half finishes on its own\n",
+			t.Process().Name)
+	})
+	eng.Run()
+	fmt.Printf("all threads drained at %v\n", eng.Now())
+}

@@ -1,0 +1,53 @@
+// Webstack: the paper's motivating three-tier OLTP application (§2,
+// §7.4) in all three configurations — isolated processes over UNIX
+// sockets (Linux), dIPC proxies (dIPC), and a single unsafe process
+// (Ideal) — printing the throughput, latency and time-breakdown
+// comparison of Figures 1 and 8.
+//
+//	go run ./examples/webstack
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/apps/oltp"
+	"repro/internal/sim"
+)
+
+func main() {
+	fmt.Println("Three-tier OLTP web stack: Apache-like web server, PHP-like")
+	fmt.Println("interpreter, MariaDB-like database; DVDStore-like workload.")
+	fmt.Println()
+
+	const threads = 16
+	for _, inMem := range []bool{false, true} {
+		storage := "on-disk DB"
+		if inMem {
+			storage = "in-memory DB"
+		}
+		fmt.Printf("--- %s, %d threads/component ---\n", storage, threads)
+		var linux, dipc, ideal *oltp.Result
+		for _, mode := range []oltp.Mode{oltp.ModeLinux, oltp.ModeDIPC, oltp.ModeIdeal} {
+			r := oltp.Run(oltp.Config{
+				Mode:     mode,
+				InMemory: inMem,
+				Threads:  threads,
+				Window:   sim.Millis(200),
+				Seed:     11,
+			})
+			switch mode {
+			case oltp.ModeLinux:
+				linux = r
+			case oltp.ModeDIPC:
+				dipc = r
+			case oltp.ModeIdeal:
+				ideal = r
+			}
+			fmt.Printf("%-14s %8.0f ops/min  latency %-9s  user %4.1f%%  kernel %4.1f%%  idle %4.1f%%\n",
+				mode, r.Throughput, r.AvgLatency,
+				100*r.UserShare(), 100*r.KernelShare(), 100*r.IdleShare())
+		}
+		fmt.Printf("dIPC speedup over Linux: %.2fx; dIPC efficiency vs Ideal: %.1f%%\n\n",
+			dipc.Throughput/linux.Throughput, 100*dipc.Throughput/ideal.Throughput)
+	}
+}

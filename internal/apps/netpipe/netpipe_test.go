@@ -1,0 +1,109 @@
+package netpipe
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func latOverhead(t *testing.T, v Variant, size int) float64 {
+	t.Helper()
+	bare := Setup(Bare, 1).RunLatency(size, 50)
+	got := Setup(v, 1).RunLatency(size, 50)
+	return (float64(got) - float64(bare)) / float64(bare) * 100
+}
+
+func bwOverhead(t *testing.T, v Variant, size int) float64 {
+	t.Helper()
+	bare := Setup(Bare, 1).RunBandwidth(size, 200)
+	got := Setup(v, 1).RunBandwidth(size, 200)
+	return (1 - got/bare) * 100
+}
+
+func TestNICFlightTime(t *testing.T) {
+	w := Setup(Bare, 1)
+	small := w.NIC.flightTime(1)
+	big := w.NIC.flightTime(4096)
+	if small >= big {
+		t.Fatal("flight time must grow with size")
+	}
+	if small < sim.Micros(1) {
+		t.Fatalf("base latency %v below the Infiniband range", small)
+	}
+}
+
+func TestDIPCLatencyOverheadTiny(t *testing.T) {
+	// §7.3: "Only dIPC sustains Infiniband's low latency, with a ~1%
+	// overhead."
+	oh := latOverhead(t, DIPC, 4)
+	if oh < 0 || oh > 3 {
+		t.Fatalf("dIPC latency overhead = %.2f%%, want ~1%%", oh)
+	}
+}
+
+func TestKernelLatencyOverheadModerate(t *testing.T) {
+	// §7.3: "system calls incur a 10% overhead".
+	oh := latOverhead(t, Kernel, 4)
+	if oh < 4 || oh > 16 {
+		t.Fatalf("kernel latency overhead = %.2f%%, want ~10%%", oh)
+	}
+}
+
+func TestIPCLatencyOverheadLarge(t *testing.T) {
+	// §7.3: "IPC incurs more than 100% latency overheads".
+	for _, v := range []Variant{Sem, Pipe} {
+		oh := latOverhead(t, v, 4)
+		if oh < 100 {
+			t.Fatalf("%v latency overhead = %.1f%%, want >100%%", v, oh)
+		}
+	}
+}
+
+func TestDIPCProcBetweenDIPCAndKernel(t *testing.T) {
+	dipc := latOverhead(t, DIPC, 4)
+	proc := latOverhead(t, DIPCProc, 4)
+	sem := latOverhead(t, Sem, 4)
+	if !(dipc < proc && proc < sem) {
+		t.Fatalf("ordering: dIPC %.2f%% < dIPC+proc %.2f%% < sem %.1f%% violated",
+			dipc, proc, sem)
+	}
+}
+
+func TestBandwidthOverheadAt4K(t *testing.T) {
+	// §7.3: "we still see overheads above 60% for a 4KB transfer in
+	// the IPC scenarios" (pipes; semaphores close behind), and "the
+	// difference between the pipe and semaphore results show that
+	// unnecessary IPC semantics produce further slowdowns".
+	pipe := bwOverhead(t, Pipe, 4096)
+	sem := bwOverhead(t, Sem, 4096)
+	if pipe < 55 {
+		t.Fatalf("pipe bandwidth overhead at 4KB = %.1f%%, want >60%%", pipe)
+	}
+	if sem >= pipe {
+		t.Fatalf("sem (%.1f%%) must beat pipe (%.1f%%): no copies needed", sem, pipe)
+	}
+	if dipc := bwOverhead(t, DIPC, 4096); dipc > 5 {
+		t.Fatalf("dIPC bandwidth overhead = %.1f%%, want ~0", dipc)
+	}
+}
+
+func TestLatencyOverheadShrinksWithSize(t *testing.T) {
+	// As transfers grow, wire time dominates and relative overheads
+	// shrink (the downward slope of Fig. 7's latency panel).
+	small := latOverhead(t, Sem, 4)
+	big := latOverhead(t, Sem, 4096)
+	if big >= small {
+		t.Fatalf("sem overhead should shrink with size: %.1f%% -> %.1f%%", small, big)
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	seen := map[string]bool{}
+	for v := Variant(0); v < NumVariants; v++ {
+		s := v.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad/duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+}

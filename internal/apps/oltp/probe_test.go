@@ -1,0 +1,33 @@
+package oltp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestProbeCalibration logs the headline numbers of every configuration
+// (run with -v). It asserts nothing itself; the shape assertions live in
+// oltp_test.go. It is kept in the suite as a cheap smoke test that all
+// six mode×storage combinations complete.
+func TestProbeCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	for _, inMem := range []bool{true, false} {
+		for _, mode := range []Mode{ModeLinux, ModeDIPC, ModeIdeal} {
+			for _, threads := range []int{4, 16, 64, 256} {
+				r := Run(Config{
+					Mode: mode, InMemory: inMem, Threads: threads,
+					Warmup: sim.Millis(40), Window: sim.Millis(150), Seed: 3,
+				})
+				t.Logf("%-14s mem=%-5v T=%-3d  thr=%8.0f ops/min  lat=%9s  user=%4.1f%% kern=%4.1f%% idle=%4.1f%%  calls/op=%.1f",
+					mode, inMem, threads, r.Throughput, r.AvgLatency,
+					100*r.UserShare(), 100*r.KernelShare(), 100*r.IdleShare(), r.CallsPerOp)
+				if r.Ops == 0 {
+					t.Fatalf("%v mem=%v T=%d completed no operations", mode, inMem, threads)
+				}
+			}
+		}
+	}
+}

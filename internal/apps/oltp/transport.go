@@ -1,0 +1,147 @@
+package oltp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ipc"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// Handler processes one inter-tier call and returns the result plus its
+// wire size (for the copying transports).
+type Handler func(t *kernel.Thread, op string, payload any) (any, int)
+
+// Transport abstracts how one tier invokes the next: a plain function
+// call (Ideal), a dIPC proxy (dIPC), or UNIX sockets between worker
+// pools (Linux).
+type Transport interface {
+	// Call performs one synchronous request and returns the result.
+	Call(t *kernel.Thread, op string, payload any, reqBytes int) any
+	// Calls returns how many calls went through (for the §7.5
+	// calls-per-operation accounting).
+	Calls() uint64
+}
+
+// DirectTransport is the Ideal configuration's path: a function call
+// into the co-located component.
+type DirectTransport struct {
+	H     Handler
+	calls uint64
+}
+
+// Call implements Transport.
+func (d *DirectTransport) Call(t *kernel.Thread, op string, payload any, reqBytes int) any {
+	d.calls++
+	t.Exec(t.Machine().P.FuncCall, stats.BlockUser)
+	out, _ := d.H(t, op, payload)
+	return out
+}
+
+// Calls implements Transport.
+func (d *DirectTransport) Calls() uint64 { return d.calls }
+
+// SockTransport is the Linux baseline: requests flow through a UNIX
+// socket to a pool of service threads in the target process, and
+// responses come back on a per-caller reply socket — the paper's §2.3
+// "false concurrency".
+type SockTransport struct {
+	prm     *Params
+	req     *ipc.Socket
+	h       Handler
+	replies map[*kernel.Thread]*ipc.Socket
+	calls   uint64
+}
+
+// sockReq is the wire request.
+type sockReq struct {
+	op      string
+	payload any
+	reply   *ipc.Socket
+}
+
+// NewSockTransport builds the socket endpoint for handler h.
+func NewSockTransport(prm *Params, h Handler) *SockTransport {
+	return &SockTransport{
+		prm:     prm,
+		req:     ipc.NewConn(0).AtoB,
+		h:       h,
+		replies: make(map[*kernel.Thread]*ipc.Socket),
+	}
+}
+
+// Call implements Transport for the caller side.
+func (s *SockTransport) Call(t *kernel.Thread, op string, payload any, reqBytes int) any {
+	s.calls++
+	reply := s.replies[t]
+	if reply == nil {
+		reply = ipc.NewConn(0).AtoB
+		s.replies[t] = reply
+	}
+	t.ExecUser(s.prm.ProtoMarshal) // marshal request
+	s.req.Send(t, ipc.Message{Size: reqBytes, Payload: &sockReq{op: op, payload: payload, reply: reply}})
+	msg := reply.Recv(t)
+	t.ExecUser(s.prm.ProtoMarshal) // unmarshal response
+	return msg.Payload
+}
+
+// Calls implements Transport.
+func (s *SockTransport) Calls() uint64 { return s.calls }
+
+// Worker runs one service thread: the per-tier thread pools of the
+// Linux configuration call this in a loop.
+func (s *SockTransport) Worker(t *kernel.Thread) {
+	for {
+		msg := s.req.Recv(t)
+		r := msg.Payload.(*sockReq)
+		t.ExecUser(s.prm.ProtoMarshal) // unmarshal + demultiplex
+		out, respBytes := s.h(t, r.op, r.payload)
+		t.ExecUser(s.prm.ProtoMarshal) // marshal response
+		r.reply.Send(t, ipc.Message{Size: respBytes, Payload: out})
+	}
+}
+
+// DIPCTransport bridges tiers with dIPC proxies: the calling thread
+// crosses into the target process in place.
+type DIPCTransport struct {
+	entries map[string]*core.ImportedEntry
+	calls   uint64
+	// runtimeHint lets the web workers enter their process code domain
+	// before calling (the CODOMs subject comes from the instruction
+	// pointer).
+	runtimeHint *core.Runtime
+}
+
+// NewDIPCTransport wraps resolved entries keyed by operation name.
+func NewDIPCTransport(entries map[string]*core.ImportedEntry) *DIPCTransport {
+	return &DIPCTransport{entries: entries}
+}
+
+// Call implements Transport.
+func (d *DIPCTransport) Call(t *kernel.Thread, op string, payload any, reqBytes int) any {
+	d.calls++
+	ent, ok := d.entries[op]
+	if !ok {
+		panic(fmt.Sprintf("oltp: no dIPC entry for %q", op))
+	}
+	out, err := ent.Call(t, &core.Args{Data: payload, StackBytes: 64})
+	if err != nil {
+		panic(fmt.Sprintf("oltp: dIPC call %q failed: %v", op, err))
+	}
+	if out == nil {
+		return nil
+	}
+	return out.Data
+}
+
+// Calls implements Transport.
+func (d *DIPCTransport) Calls() uint64 { return d.calls }
+
+// handlerEntry adapts a Handler into a dIPC entry function.
+func handlerEntry(h Handler, op string) core.Func {
+	return func(t *kernel.Thread, in *core.Args) *core.Args {
+		out, _ := h(t, op, in.Data)
+		return &core.Args{Data: out}
+	}
+}

@@ -1,0 +1,128 @@
+package oltp
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// OpKind is one DVDStore operation type.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpBrowse OpKind = iota
+	OpLogin
+	OpPurchase
+)
+
+// String names the operation.
+func (k OpKind) String() string {
+	switch k {
+	case OpBrowse:
+		return "browse"
+	case OpLogin:
+		return "login"
+	case OpPurchase:
+		return "purchase"
+	default:
+		return "unknown"
+	}
+}
+
+// Operation is one client request with its pre-drawn query plan.
+type Operation struct {
+	Kind    OpKind
+	Queries []Query
+}
+
+// GenOp draws one operation from the DVDStore-like mix.
+func GenOp(rng *sim.Rand, prm *Params) *Operation {
+	w := rng.Intn(prm.BrowseWeight + prm.LoginWeight + prm.PurchaseWeight)
+	switch {
+	case w < prm.BrowseWeight:
+		op := &Operation{Kind: OpBrowse}
+		cat := rng.Intn(prm.Categories)
+		op.Queries = append(op.Queries, Query{Kind: QBrowseCategory, Key: cat})
+		for i := 0; i < prm.BrowseGets; i++ {
+			op.Queries = append(op.Queries, Query{Kind: QGetProduct, Key: rng.Intn(prm.Products)})
+		}
+		return op
+	case w < prm.BrowseWeight+prm.LoginWeight:
+		op := &Operation{Kind: OpLogin}
+		cust := rng.Intn(prm.Customers)
+		op.Queries = append(op.Queries, Query{Kind: QLogin, Key: cust})
+		for i := 0; i < prm.LoginHistory; i++ {
+			op.Queries = append(op.Queries, Query{Kind: QOrderHistory, Key: cust})
+		}
+		return op
+	default:
+		op := &Operation{Kind: OpPurchase}
+		cust := rng.Intn(prm.Customers)
+		op.Queries = append(op.Queries, Query{Kind: QLogin, Key: cust})
+		for i := 0; i < prm.PurchaseGets; i++ {
+			op.Queries = append(op.Queries, Query{Kind: QGetProduct, Key: rng.Intn(prm.Products)})
+		}
+		for i := 0; i < prm.PurchaseLines; i++ {
+			item := rng.Intn(prm.Products)
+			op.Queries = append(op.Queries,
+				Query{Kind: QAddOrderLine, Key: cust, Key2: item, Quantity: 1},
+				Query{Kind: QUpdateStock, Key: item})
+		}
+		op.Queries = append(op.Queries, Query{Kind: QCommitOrder, Key: cust})
+		return op
+	}
+}
+
+// request is one in-flight client request crossing the ingress.
+type request struct {
+	op      *Operation
+	started sim.Time
+	done    sim.Waiter
+}
+
+// Ingress models the HTTP front door: clients live off-machine (the
+// DVDStore driver host), so submission costs nothing locally; the web
+// tier's accept/read/write syscalls are charged in full.
+type Ingress struct {
+	prm     *Params
+	pending []*request
+	waiters kernel.TQueue
+}
+
+// NewIngress builds the front door.
+func NewIngress(prm *Params) *Ingress { return &Ingress{prm: prm} }
+
+// Submit delivers a client request (called from a client sim.Proc).
+func (in *Ingress) Submit(req *request) {
+	if in.waiters.WakeOne(req, nil) {
+		return
+	}
+	in.pending = append(in.pending, req)
+}
+
+// Recv blocks a web worker until a request arrives, charging the
+// accept+read path.
+func (in *Ingress) Recv(t *kernel.Thread) *request {
+	var req *request
+	t.Syscall(func() {
+		p := t.Machine().P
+		t.Exec(p.SockKernel+p.KernelCopy(in.prm.IngressReq), stats.BlockKernel)
+		if len(in.pending) > 0 {
+			req = in.pending[0]
+			in.pending = in.pending[1:]
+			return
+		}
+		req = in.waiters.BlockOn(t).(*request)
+	})
+	return req
+}
+
+// Reply sends the response page back to the client.
+func (in *Ingress) Reply(t *kernel.Thread, req *request) {
+	t.Syscall(func() {
+		p := t.Machine().P
+		t.Exec(p.SockKernel+p.KernelCopy(in.prm.IngressResp), stats.BlockKernel)
+	})
+	req.done.Wake(0, nil)
+}

@@ -1,0 +1,129 @@
+// Package archcmp reproduces Table 1 of the paper: the best-case cost of
+// a round-trip protection-domain switch with bulk data communication on
+// four architecture families.
+//
+//	Conventional CPU  S: 2×syscall + 4×swapgs + 2×sysret + page table
+//	                  switch                         D: memcpy
+//	CHERI             S: 2×exception                 D: capability setup
+//	MMP               S: 2×pipeline flush            D: copy into a
+//	                  pre-shared buffer, or write/invalidate privileged
+//	                  protection-table entries
+//	CODOMs            S: call + return               D: capability setup
+//
+// Each model composes the cost.Params constants exactly as the table's
+// operation column describes, so the table regenerates from the same
+// numbers driving the rest of the simulation.
+package archcmp
+
+import (
+	"repro/internal/cost"
+	"repro/internal/sim"
+)
+
+// Arch identifies one compared architecture.
+type Arch int
+
+// The compared architectures, in the table's order.
+const (
+	Conventional Arch = iota
+	CHERI
+	MMP
+	CODOMs
+	NumArchs
+)
+
+// String names the architecture.
+func (a Arch) String() string {
+	switch a {
+	case Conventional:
+		return "Conventional CPU"
+	case CHERI:
+		return "CHERI"
+	case MMP:
+		return "MMP"
+	case CODOMs:
+		return "CODOMs"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is one table row, split the way the table splits it.
+type Result struct {
+	Arch       Arch
+	SwitchCost sim.Time // S: round-trip domain switch
+	DataCost   sim.Time // D: communicating `bytes` of bulk data
+	Operations string   // the table's operation description
+}
+
+// Total returns switch plus data cost.
+func (r Result) Total() sim.Time { return r.SwitchCost + r.DataCost }
+
+// SwitchCost returns the best-case round-trip domain switch cost on the
+// given architecture.
+func SwitchCost(p *cost.Params, a Arch) sim.Time {
+	switch a {
+	case Conventional:
+		// 2×syscall + 4×swapgs + 2×sysret + page table switch. Trap
+		// and Ret already include their swapgs halves.
+		return 2*(p.SyscallTrap+p.SyscallRet) + p.PageTableSwitch
+	case CHERI:
+		// Domain crossing via CCall exception, there and back.
+		return 2 * p.TrapException
+	case MMP:
+		// Cross-domain call and return each flush the pipeline.
+		return 2 * p.PipelineFlush
+	case CODOMs:
+		// A call and a return; the APL check overlaps the pipeline.
+		return p.FuncCall + 2*p.DomainSwitch
+	default:
+		return 0
+	}
+}
+
+// DataCost returns the bulk-data communication cost for n bytes.
+func DataCost(p *cost.Params, a Arch, n int) sim.Time {
+	switch a {
+	case Conventional:
+		// memcpy across address spaces.
+		return p.Copy(n)
+	case CHERI, CODOMs:
+		// Capability setup only: data is passed by reference.
+		return p.CapCreate
+	case MMP:
+		// Copy into a pre-shared buffer, or privileged protection-table
+		// writes to share/unshare the range; the best case is whichever
+		// is cheaper for this size.
+		copyCost := p.Copy(n)
+		pages := (n + 4095) / 4096
+		tableCost := sim.Time(2*pages) * p.MMPTableWrite // write + invalidate
+		if tableCost < copyCost {
+			return tableCost
+		}
+		return copyCost
+	default:
+		return 0
+	}
+}
+
+// operations holds the table's operation descriptions.
+var operations = [NumArchs]string{
+	"S: 2xsyscall + 4xswapgs + 2xsysret + page table switch // D: memcpy",
+	"S: 2xexception // D: capability setup",
+	"S: 2xpipeline flush // D: copy into pre-shared buffer, or write/invalidate privileged prot. table entries",
+	"S: call + return // D: capability setup",
+}
+
+// Compare computes the full table for n bytes of bulk data.
+func Compare(p *cost.Params, n int) []Result {
+	out := make([]Result, 0, NumArchs)
+	for a := Arch(0); a < NumArchs; a++ {
+		out = append(out, Result{
+			Arch:       a,
+			SwitchCost: SwitchCost(p, a),
+			DataCost:   DataCost(p, a, n),
+			Operations: operations[a],
+		})
+	}
+	return out
+}

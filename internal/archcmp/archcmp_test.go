@@ -1,0 +1,78 @@
+package archcmp
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestCODOMsSwitchIsCheapest(t *testing.T) {
+	p := cost.Default()
+	codoms := SwitchCost(p, CODOMs)
+	for a := Arch(0); a < NumArchs; a++ {
+		if a == CODOMs {
+			continue
+		}
+		if SwitchCost(p, a) <= codoms {
+			t.Fatalf("%v switch (%v) not more expensive than CODOMs (%v)",
+				a, SwitchCost(p, a), codoms)
+		}
+	}
+}
+
+func TestTableOrdering(t *testing.T) {
+	// Table 1's qualitative ordering: conventional (full kernel round
+	// trip + CR3) is the worst switch; MMP's pipeline flushes beat
+	// CHERI's exceptions; CODOMs is essentially a call.
+	p := cost.Default()
+	conv := SwitchCost(p, Conventional)
+	cheri := SwitchCost(p, CHERI)
+	mmp := SwitchCost(p, MMP)
+	if !(conv > cheri && cheri > mmp) {
+		t.Fatalf("ordering violated: conv=%v cheri=%v mmp=%v", conv, cheri, mmp)
+	}
+}
+
+func TestDataCostsByReferenceVsCopy(t *testing.T) {
+	p := cost.Default()
+	const n = 1 << 20
+	if DataCost(p, CODOMs, n) >= DataCost(p, Conventional, n) {
+		t.Fatal("capability setup must beat a 1MB memcpy")
+	}
+	if DataCost(p, CHERI, n) != DataCost(p, CODOMs, n) {
+		t.Fatal("CHERI and CODOMs both pass by capability")
+	}
+	// Capability setup does not scale with size.
+	if DataCost(p, CODOMs, 1) != DataCost(p, CODOMs, n) {
+		t.Fatal("capability setup must be size independent")
+	}
+}
+
+func TestMMPPicksCheaperStrategy(t *testing.T) {
+	p := cost.Default()
+	// Small transfers: copying into the shared buffer wins.
+	small := DataCost(p, MMP, 64)
+	if small != p.Copy(64) {
+		t.Fatalf("small MMP transfer should copy: %v vs %v", small, p.Copy(64))
+	}
+	// Huge transfers: protection-table remapping wins.
+	const huge = 64 << 20
+	if DataCost(p, MMP, huge) >= p.Copy(huge) {
+		t.Fatal("huge MMP transfer should remap, not copy")
+	}
+}
+
+func TestCompareRowsComplete(t *testing.T) {
+	rows := Compare(cost.Default(), 4096)
+	if len(rows) != int(NumArchs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Operations == "" || r.Arch.String() == "unknown" {
+			t.Fatalf("incomplete row %+v", r)
+		}
+		if r.Total() != r.SwitchCost+r.DataCost {
+			t.Fatal("total mismatch")
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package codoms
+
+import "fmt"
+
+// APLCacheSize is the per-hardware-thread APL cache capacity; its 32
+// entries yield the 5-bit hardware domain tag of §4.3.
+const APLCacheSize = 32
+
+// APLCacheEntry caches the access information of one recently executed
+// domain plus the small hardware tag used internally for checks.
+type APLCacheEntry struct {
+	Tag   Tag
+	HWTag uint8 // 5-bit hardware domain tag
+	valid bool
+}
+
+// APLCache is the software-managed, per-hardware-thread cache of
+// recently executed domains (§4.1). dIPC's extension (§4.3) adds a
+// privileged instruction to retrieve the hardware tag of a cached
+// domain, which the process-tracking fast path uses as an array index.
+type APLCache struct {
+	entries [APLCacheSize]APLCacheEntry
+	clock   int // round-robin victim pointer
+	misses  uint64
+	lookups uint64
+}
+
+// NewAPLCache returns an empty cache.
+func NewAPLCache() *APLCache { return &APLCache{} }
+
+// Lookup returns the hardware tag for a domain if cached.
+func (c *APLCache) Lookup(tag Tag) (uint8, bool) {
+	c.lookups++
+	for i := range c.entries {
+		if c.entries[i].valid && c.entries[i].Tag == tag {
+			return c.entries[i].HWTag, true
+		}
+	}
+	return 0, false
+}
+
+// Insert caches a domain, evicting round-robin if full, and returns its
+// hardware tag. In hardware this is the software miss handler's refill.
+func (c *APLCache) Insert(tag Tag) uint8 {
+	if hw, ok := c.Lookup(tag); ok {
+		c.lookups-- // Insert's internal probe is not a client lookup
+		return hw
+	}
+	c.misses++
+	// Find an invalid slot first.
+	for i := range c.entries {
+		if !c.entries[i].valid {
+			c.entries[i] = APLCacheEntry{Tag: tag, HWTag: uint8(i), valid: true}
+			return uint8(i)
+		}
+	}
+	v := c.clock
+	c.clock = (c.clock + 1) % APLCacheSize
+	c.entries[v] = APLCacheEntry{Tag: tag, HWTag: uint8(v), valid: true}
+	return uint8(v)
+}
+
+// HWTagOf is the dIPC-specific privileged instruction (§4.3): retrieve
+// the 5-bit hardware domain tag of any cached domain. It fails if the
+// domain is not present (the caller then takes the slow path and refills).
+func (c *APLCache) HWTagOf(tag Tag) (uint8, error) {
+	if hw, ok := c.Lookup(tag); ok {
+		return hw, nil
+	}
+	return 0, fmt.Errorf("codoms: domain %d not in APL cache", tag)
+}
+
+// Flush empties the cache (used when the scheduler swaps in a thread
+// from a different address space; §7.5 notes the cache can be switched
+// lazily like FPU state — the kernel layer models that policy).
+func (c *APLCache) Flush() {
+	for i := range c.entries {
+		c.entries[i] = APLCacheEntry{}
+	}
+}
+
+// Stats returns (lookups, misses).
+func (c *APLCache) Stats() (lookups, misses uint64) { return c.lookups, c.misses }

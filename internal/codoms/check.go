@@ -1,0 +1,260 @@
+package codoms
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Access is the kind of memory access being checked.
+type Access int
+
+const (
+	// AccessRead is an ordinary load.
+	AccessRead Access = iota
+	// AccessWrite is an ordinary store.
+	AccessWrite
+	// AccessExec is an instruction fetch.
+	AccessExec
+	// AccessCapLoad loads a capability from tagged storage.
+	AccessCapLoad
+	// AccessCapStore stores a capability to tagged storage.
+	AccessCapStore
+)
+
+// String names the access kind.
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	case AccessCapLoad:
+		return "capload"
+	case AccessCapStore:
+		return "capstore"
+	default:
+		return fmt.Sprintf("Access(%d)", int(a))
+	}
+}
+
+// Fault is the error produced by a failed CODOMs check; the OS layer
+// turns it into the thread-crash path of §5.2.1.
+type Fault struct {
+	Subject Tag
+	VA      mem.Addr
+	Kind    Access
+	Reason  string
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("codoms fault: domain %d %s at %#x: %s", f.Subject, f.Kind, uint64(f.VA), f.Reason)
+}
+
+// ThreadCtx is the per-hardware-thread CODOMs state: the instruction
+// pointer (whose page tag defines the subject domain), the 8 capability
+// registers, the capability stack and the APL cache.
+type ThreadCtx struct {
+	ip       mem.Addr
+	ipDomain Tag // cached tag of the current code page
+	ipValid  bool
+
+	CapRegs [NumCapRegs]Capability
+	DCS     *DCS
+	Cache   *APLCache
+}
+
+// NewThreadCtx returns a fresh hardware thread context.
+func NewThreadCtx() *ThreadCtx {
+	return &ThreadCtx{DCS: NewDCS(0), Cache: NewAPLCache()}
+}
+
+// SetIP moves the instruction pointer, invalidating the cached subject
+// domain if the page changed.
+func (ctx *ThreadCtx) SetIP(va mem.Addr) {
+	if ctx.ipValid && va>>mem.PageShift == ctx.ip>>mem.PageShift {
+		ctx.ip = va
+		return
+	}
+	ctx.ip = va
+	ctx.ipValid = false
+}
+
+// IP returns the current instruction pointer.
+func (ctx *ThreadCtx) IP() mem.Addr { return ctx.ip }
+
+// CodeDomain returns the domain of the currently executing instruction,
+// the subject of every CODOMs check.
+func (ctx *ThreadCtx) CodeDomain(pt *mem.PageTable) Tag {
+	if ctx.ipValid {
+		return ctx.ipDomain
+	}
+	pi, ok := pt.Lookup(ctx.ip)
+	if !ok {
+		return mem.NilTag
+	}
+	ctx.ipDomain = pi.Tag
+	ctx.ipValid = true
+	return pi.Tag
+}
+
+// need maps an access kind to the APL/capability permission it requires.
+func (a Access) need() Perm {
+	switch a {
+	case AccessWrite, AccessCapStore:
+		return PermWrite
+	default:
+		return PermRead
+	}
+}
+
+// Check validates a data access of size bytes at va by the code currently
+// executing on ctx, per §4.1/§4.2: the page's protection bits are always
+// honoured, then authority comes from (a) the subject's own tag, (b) the
+// subject's APL, or (c) any valid capability register covering the range.
+func (s *System) Check(ctx *ThreadCtx, pt *mem.PageTable, va mem.Addr, size int, acc Access) error {
+	s.checks++
+	subject := ctx.CodeDomain(pt)
+	if size <= 0 {
+		size = 1
+	}
+	fault := func(reason string) error {
+		return &Fault{Subject: subject, VA: va, Kind: acc, Reason: reason}
+	}
+	// Page-level checks over the whole range.
+	end := va + mem.Addr(size)
+	target := Tag(0)
+	for a := va &^ (mem.PageSize - 1); a < end; a += mem.PageSize {
+		pi, ok := pt.Lookup(a)
+		if !ok {
+			return fault("page not mapped")
+		}
+		if a == va&^(mem.PageSize-1) {
+			target = pi.Tag
+		} else if pi.Tag != target {
+			return fault("access spans domains")
+		}
+		// Per-page protection bits are honoured regardless of APL
+		// grants (§4.1).
+		switch acc {
+		case AccessWrite:
+			if !pi.Flags.Has(mem.FlagWrite) {
+				return fault("page not writable")
+			}
+			if pi.Flags.Has(mem.FlagCapStore) {
+				return fault("ordinary store to capability storage")
+			}
+		case AccessRead:
+			if pi.Flags.Has(mem.FlagCapStore) {
+				return fault("ordinary load from capability storage")
+			}
+		case AccessExec:
+			if !pi.Flags.Has(mem.FlagExec) {
+				return fault("page not executable")
+			}
+		case AccessCapLoad:
+			if !pi.Flags.Has(mem.FlagCapStore) {
+				return fault("capability load from untagged page")
+			}
+		case AccessCapStore:
+			if !pi.Flags.Has(mem.FlagCapStore) {
+				return fault("capability store to untagged page")
+			}
+			if !pi.Flags.Has(mem.FlagWrite) {
+				return fault("capability store to read-only page")
+			}
+		}
+	}
+	// (a) own domain.
+	if target == subject {
+		return nil
+	}
+	s.crossChecks++
+	// (b) APL.
+	if s.APLPerm(subject, target) >= acc.need() {
+		return nil
+	}
+	// (c) capability registers: by default accesses are checked against
+	// all 8 (§4.2).
+	for i := range ctx.CapRegs {
+		c := ctx.CapRegs[i]
+		if c.ValidFor(ctx) && c.Covers(va, size, acc.need()) {
+			return nil
+		}
+	}
+	return fault(fmt.Sprintf("no APL grant (%v) or covering capability", s.APLPerm(subject, target)))
+}
+
+// CheckCall validates a control transfer to target: the target must be
+// executable and the subject must reach it through its own domain, an APL
+// entry (call permission restricted to aligned entry points, read or
+// better for arbitrary addresses, §4.1) or a capability register.
+func (s *System) CheckCall(ctx *ThreadCtx, pt *mem.PageTable, target mem.Addr) error {
+	s.checks++
+	subject := ctx.CodeDomain(pt)
+	fault := func(reason string) error {
+		return &Fault{Subject: subject, VA: target, Kind: AccessExec, Reason: reason}
+	}
+	pi, ok := pt.Lookup(target)
+	if !ok {
+		return fault("target not mapped")
+	}
+	if !pi.Flags.Has(mem.FlagExec) {
+		return fault("target not executable")
+	}
+	if pi.Tag == subject {
+		return nil
+	}
+	s.crossChecks++
+	perm := s.APLPerm(subject, pi.Tag)
+	switch {
+	case perm >= PermRead:
+		return nil // read grants arbitrary call/jump targets
+	case perm == PermCall:
+		if target%s.EntryAlign == 0 {
+			return nil
+		}
+		return fault("call permission requires aligned entry point")
+	}
+	for i := range ctx.CapRegs {
+		c := ctx.CapRegs[i]
+		if !c.ValidFor(ctx) {
+			continue
+		}
+		if c.Covers(target, 1, PermRead) {
+			return nil
+		}
+		if c.Covers(target, 1, PermCall) && target%s.EntryAlign == 0 {
+			return nil
+		}
+	}
+	return fault("no call authority over target domain")
+}
+
+// Call performs a checked control transfer: on success the instruction
+// pointer (and therefore the subject domain of subsequent checks) moves
+// to target. This is the "regular procedure call across domains" that
+// CODOMs makes free of pipeline stalls.
+func (s *System) Call(ctx *ThreadCtx, pt *mem.PageTable, target mem.Addr) error {
+	if err := s.CheckCall(ctx, pt, target); err != nil {
+		return err
+	}
+	ctx.SetIP(target)
+	return nil
+}
+
+// CheckPriv validates execution of a privileged instruction: the current
+// code page must carry the privileged capability bit (§4.1), which is
+// what lets dIPC proxies run kernel-ish code without a mode switch.
+func (s *System) CheckPriv(ctx *ThreadCtx, pt *mem.PageTable) error {
+	s.checks++
+	pi, ok := pt.Lookup(ctx.ip)
+	if !ok || !pi.Flags.Has(mem.FlagPrivCap) {
+		return &Fault{Subject: ctx.CodeDomain(pt), VA: ctx.ip, Kind: AccessExec,
+			Reason: "privileged instruction outside privileged-capability page"}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package codoms
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// Property: a valid capability authorizes exactly the accesses inside
+// its bounds with permissions up to its own, and nothing outside.
+func TestCapabilityBoundsProperty(t *testing.T) {
+	s := NewSystem()
+	pt := mem.NewPageTable()
+	owner := s.NewDomain()
+	stranger := s.NewDomain()
+	const pages = 16
+	if err := pt.Map(0x100000, pages, mem.FlagWrite|mem.FlagExec, owner.Tag); err != nil {
+		t.Fatal(err)
+	}
+	// A code page for the stranger to execute from.
+	if err := pt.Map(0x900000, 1, mem.FlagExec, stranger.Tag); err != nil {
+		t.Fatal(err)
+	}
+	ownerCtx := NewThreadCtx()
+	ownerCtx.SetIP(0x100000)
+
+	f := func(offRaw, sizeRaw uint16, accOff uint16, accSize uint8, wantWrite bool) bool {
+		base := mem.Addr(0x100000) + mem.Addr(offRaw)%(pages*mem.PageSize/2)
+		size := int(sizeRaw)%(4*mem.PageSize) + 1
+		if int(base)+size > 0x100000+pages*mem.PageSize {
+			size = 0x100000 + pages*mem.PageSize - int(base)
+		}
+		perm := PermRead
+		if wantWrite {
+			perm = PermWrite
+		}
+		rc := &RevCounter{}
+		cap, err := s.NewFromAPL(ownerCtx, pt, owner.Tag, base, size, perm, CapAsync, rc)
+		if err != nil {
+			return false
+		}
+		ctx := NewThreadCtx()
+		ctx.SetIP(0x900000)
+		ctx.CapRegs[3] = cap
+
+		va := base + mem.Addr(accOff)
+		n := int(accSize)%64 + 1
+		inBounds := va >= base && int(va)+n <= int(base)+size
+		readOK := s.Check(ctx, pt, va, n, AccessRead) == nil
+		writeOK := s.Check(ctx, pt, va, n, AccessWrite) == nil
+		if inBounds {
+			if !readOK {
+				return false // read is always covered by read or write caps
+			}
+			if writeOK != wantWrite {
+				return false // write only with a write capability
+			}
+		} else if readOK || writeOK {
+			// The access may still be legal if it lands inside the
+			// capability after wrapping... it cannot: va >= base and
+			// out-of-bounds means past the end.
+			return false
+		}
+		// After revocation nothing is allowed.
+		rc.Revoke()
+		return s.Check(ctx, pt, va, n, AccessRead) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the APL cache never hands out the same hardware tag to two
+// resident domains.
+func TestAPLCacheUniqueHWTagsProperty(t *testing.T) {
+	f := func(tagsRaw []uint16) bool {
+		c := NewAPLCache()
+		for _, tr := range tagsRaw {
+			c.Insert(Tag(tr%100 + 1))
+		}
+		seen := map[uint8]Tag{}
+		for tag := Tag(1); tag <= 100; tag++ {
+			if hw, ok := c.Lookup(tag); ok {
+				if other, dup := seen[hw]; dup && other != tag {
+					return false
+				}
+				seen[hw] = tag
+			}
+		}
+		return len(seen) <= APLCacheSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: grants are directional — granting src->dst never lets dst
+// access src.
+func TestGrantDirectionalityProperty(t *testing.T) {
+	f := func(permRaw uint8) bool {
+		s := NewSystem()
+		pt := mem.NewPageTable()
+		a, b := s.NewDomain(), s.NewDomain()
+		if err := pt.Map(0, 1, mem.FlagExec|mem.FlagWrite, a.Tag); err != nil {
+			return false
+		}
+		if err := pt.Map(mem.PageSize, 1, mem.FlagExec|mem.FlagWrite, b.Tag); err != nil {
+			return false
+		}
+		perm := Perm(permRaw%3) + PermCall
+		if err := s.Grant(a.Tag, b.Tag, perm); err != nil {
+			return false
+		}
+		bctx := NewThreadCtx()
+		bctx.SetIP(mem.PageSize) // executing in B
+		// B must not gain anything from A's grant.
+		return s.Check(bctx, pt, 0, 8, AccessRead) != nil &&
+			s.Check(bctx, pt, 0, 8, AccessWrite) != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DCS push/pop round-trips preserve LIFO content within the
+// visible window.
+func TestDCSLIFOProperty(t *testing.T) {
+	f := func(bases []uint16) bool {
+		if len(bases) > 200 {
+			bases = bases[:200]
+		}
+		d := NewDCS(256)
+		for _, b := range bases {
+			if d.Push(Capability{Base: mem.Addr(b), Size: 1, valid: true}) != nil {
+				return false
+			}
+		}
+		for i := len(bases) - 1; i >= 0; i-- {
+			c, err := d.Pop()
+			if err != nil || c.Base != mem.Addr(bases[i]) {
+				return false
+			}
+		}
+		_, err := d.Pop()
+		return err != nil // empty now
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

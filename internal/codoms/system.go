@@ -1,0 +1,163 @@
+// Package codoms is a functional model of the CODOMs architecture
+// (Vilanova et al., ISCA 2014) with the dIPC-specific extensions from
+// §4.3 of the dIPC paper.
+//
+// CODOMs subdivides a single page table into multiple protection domains:
+// every page carries a domain tag, every domain has an Access Protection
+// List (APL) describing which other domains its code may call, read or
+// write, and access control is *code-centric* — the subject of a check is
+// the domain of the currently executing instruction, not the current OS
+// process. Transient sharing happens through unforgeable capabilities
+// held in 8 per-thread capability registers or spilled to a bounded
+// per-thread capability stack (DCS).
+//
+// The model is behaviourally complete: checks really allow or deny,
+// capabilities really cover ranges and really get revoked. Timing is
+// handled by the layers above (the paper itself shows the hardware cost
+// of a domain crossing is negligible).
+package codoms
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Tag identifies a protection domain; it is the same value stored in the
+// per-page tag bits of the page table.
+type Tag = mem.Tag
+
+// Perm is the permission one domain holds over another through an APL
+// entry or a capability. Permissions form an ordered set (§5.2):
+// nil < call < read < write.
+type Perm int
+
+const (
+	// PermNil grants nothing.
+	PermNil Perm = iota
+	// PermCall allows calling the public (aligned) entry points of the
+	// target domain.
+	PermCall
+	// PermRead allows reading the target domain and jumping/calling to
+	// arbitrary addresses in it.
+	PermRead
+	// PermWrite is read plus stores.
+	PermWrite
+)
+
+// String returns the paper's name for the permission.
+func (p Perm) String() string {
+	switch p {
+	case PermNil:
+		return "nil"
+	case PermCall:
+		return "call"
+	case PermRead:
+		return "read"
+	case PermWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("Perm(%d)", int(p))
+	}
+}
+
+// Domain is one protection domain: a tag plus its APL.
+type Domain struct {
+	Tag Tag
+	// apl maps a target domain tag to the permission this domain's
+	// code holds over it. A domain always has implicit write access to
+	// itself (its own tag never appears in the APL).
+	apl map[Tag]Perm
+}
+
+// System models the per-address-space CODOMs configuration: the set of
+// domains and their APLs. Hardware state that is per-thread lives in
+// ThreadCtx instead.
+type System struct {
+	domains map[Tag]*Domain
+	nextTag Tag
+	// EntryAlign is the system-configurable alignment that makes a code
+	// address a valid entry point for call-permission crossings (§4.1).
+	EntryAlign mem.Addr
+	// checks counts access checks performed (for the §7.5 sensitivity
+	// analysis on cross-domain accesses).
+	checks uint64
+	// crossChecks counts checks that had to leave the subject domain
+	// (APL or capability), i.e. genuine cross-domain accesses.
+	crossChecks uint64
+}
+
+// NewSystem returns an empty CODOMs configuration.
+func NewSystem() *System {
+	return &System{
+		domains:    make(map[Tag]*Domain),
+		EntryAlign: 64,
+	}
+}
+
+// NewDomain allocates a fresh domain tag with an empty APL.
+func (s *System) NewDomain() *Domain {
+	s.nextTag++
+	d := &Domain{Tag: s.nextTag, apl: make(map[Tag]Perm)}
+	s.domains[d.Tag] = d
+	return d
+}
+
+// Domain returns the domain for tag.
+func (s *System) Domain(tag Tag) (*Domain, bool) {
+	d, ok := s.domains[tag]
+	return d, ok
+}
+
+// Grant sets src's APL entry for dst to perm (overwriting any previous
+// grant). This is the privileged operation dIPC's grant_create wraps.
+func (s *System) Grant(src, dst Tag, perm Perm) error {
+	d, ok := s.domains[src]
+	if !ok {
+		return fmt.Errorf("codoms: grant from unknown domain %d", src)
+	}
+	if _, ok := s.domains[dst]; !ok {
+		return fmt.Errorf("codoms: grant to unknown domain %d", dst)
+	}
+	if perm == PermNil {
+		delete(d.apl, dst)
+		return nil
+	}
+	d.apl[dst] = perm
+	return nil
+}
+
+// Revoke clears src's APL entry for dst (grant_revoke sets it to nil).
+func (s *System) Revoke(src, dst Tag) error {
+	return s.Grant(src, dst, PermNil)
+}
+
+// APLPerm returns the permission src holds over dst via its APL. A
+// domain implicitly holds write permission over itself.
+func (s *System) APLPerm(src, dst Tag) Perm {
+	if src == dst {
+		return PermWrite
+	}
+	d, ok := s.domains[src]
+	if !ok {
+		return PermNil
+	}
+	return d.apl[dst]
+}
+
+// APLEntries returns a copy of the domain's APL (for the scheduler, which
+// swaps APL-cache contents on context switches).
+func (s *System) APLEntries(tag Tag) map[Tag]Perm {
+	d, ok := s.domains[tag]
+	if !ok {
+		return nil
+	}
+	out := make(map[Tag]Perm, len(d.apl))
+	for k, v := range d.apl {
+		out[k] = v
+	}
+	return out
+}
+
+// Stats returns (total checks, cross-domain checks).
+func (s *System) Stats() (checks, cross uint64) { return s.checks, s.crossChecks }

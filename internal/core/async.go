@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// Asynchronous calls (§5.4): one-sided communication and asynchronicity
+// that is part of the application's interface semantics are supported
+// "by creating additional threads" — dIPC does not bake asynchrony into
+// the mechanism. Future is the handle for such a call.
+type Future struct {
+	done bool
+	out  *Args
+	err  error
+	q    kernel.TQueue
+}
+
+// Done reports whether the call has completed.
+func (f *Future) Done() bool { return f.done }
+
+// Wait blocks the calling thread until the call completes and returns
+// its results.
+func (f *Future) Wait(t *kernel.Thread) (*Args, error) {
+	if !f.done {
+		f.q.BlockOn(t)
+	}
+	return f.out, f.err
+}
+
+// CallAsync invokes the entry point on a fresh thread of the calling
+// process and returns immediately with a Future. The spawned thread is
+// a plain application thread — it pays the normal proxy path, and its
+// concurrency is real (the whole point is that dIPC only creates
+// threads when the application actually wants parallelism, §2.3).
+func (ie *ImportedEntry) CallAsync(t *kernel.Thread, in *Args) *Future {
+	f := &Future{}
+	ip := t.HW.IP()
+	t.Machine().Spawn(t.Process(), fmt.Sprintf("%s-async", ie.Name), nil,
+		func(ht *kernel.Thread) {
+			ht.HW.SetIP(ip) // same code domain as the spawner
+			f.out, f.err = ie.proxy.invoke(ht, in)
+			f.done = true
+			f.q.WakeAll(nil, ht)
+		})
+	return f
+}

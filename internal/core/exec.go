@@ -1,0 +1,35 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Exec implements the dIPC side of §6.1.3's fork/exec semantics: when a
+// (fork-disabled) process execs a position-independent executable, dIPC
+// is re-enabled — the process joins the runtime's global virtual address
+// space at a unique address, on the shared page table. Non-PIC images
+// stay conventional processes.
+func (rt *Runtime) Exec(t *kernel.Thread, proc *kernel.Process, name string, pic bool) error {
+	rt.M.ExecImage(t, proc, name, pic)
+	if !pic {
+		return nil // conventional process: dIPC stays disabled
+	}
+	var err error
+	t.Syscall(func() {
+		t.Exec(t.Machine().P.FutexWake, stats.BlockKernel)
+		proc.DIPC = true
+		proc.PageTable = rt.PT
+		proc.VA = mem.NewSuballoc(rt.M.Global, name)
+		base, aerr := proc.VA.Alloc(mem.PageSize)
+		if aerr != nil {
+			err = fmt.Errorf("dipc: exec: allocating TLS: %w", aerr)
+			return
+		}
+		proc.TLSBase = base
+	})
+	return err
+}

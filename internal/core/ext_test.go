@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestForkDisablesDIPCExecReenables(t *testing.T) {
+	w := newWorld(1)
+	w.run(t, w.web, func(th *kernel.Thread) {
+		// Fork: the child loses dIPC (§6.1.3).
+		child := w.m.Fork(th)
+		if child.DIPC {
+			t.Error("forked child must have dIPC disabled")
+		}
+		if child.VA != nil {
+			t.Error("forked child must not hold a global VA allocator")
+		}
+		// A thread of the child cannot use dIPC allocation.
+		w.m.Spawn(child, "child-main", nil, func(ct *kernel.Thread) {
+			d := w.rt.DomCreate(ct)
+			if _, err := w.rt.DomMmap(ct, d, mem.PageSize, mem.FlagWrite); err == nil {
+				t.Error("dom_mmap must fail in a fork-disabled process")
+			}
+			// Exec with a non-PIC image: stays conventional.
+			if err := w.rt.Exec(ct, child, "legacy-tool", false); err != nil {
+				t.Error(err)
+			}
+			if child.DIPC {
+				t.Error("non-PIC exec must not enable dIPC")
+			}
+			// Exec with a PIC image: re-enabled, joins the shared table.
+			if err := w.rt.Exec(ct, child, "pic-server", true); err != nil {
+				t.Error(err)
+			}
+			if !child.DIPC || child.PageTable != w.rt.PT || child.VA == nil {
+				t.Error("PIC exec must re-enable dIPC on the shared page table")
+			}
+			if child.TLSBase == 0 {
+				t.Error("PIC exec must allocate a TLS segment")
+			}
+		})
+	})
+}
+
+func TestForkCopiesDescriptorTable(t *testing.T) {
+	w := newWorld(1)
+	w.run(t, w.web, func(th *kernel.Thread) {
+		fd := w.web.AllocFD("shared-object")
+		child := w.m.Fork(th)
+		obj, err := child.GetFD(fd)
+		if err != nil || obj != "shared-object" {
+			t.Errorf("child fd table: %v, %v", obj, err)
+		}
+		// Independent tables after the fork.
+		if err := child.CloseFD(fd); err != nil {
+			t.Error(err)
+		}
+		if _, err := w.web.GetFD(fd); err != nil {
+			t.Error("closing the child's fd must not affect the parent")
+		}
+	})
+}
+
+func TestCallAsync(t *testing.T) {
+	w := newWorld(2)
+	w.export(t, PolicyLow, func(th *kernel.Thread, in *Args) *Args {
+		th.SleepFor(100 * sim.Microsecond) // slow backend
+		return &Args{Regs: []uint64{in.Regs[0] * 3}}
+	})
+	var overlapped bool
+	var out *Args
+	var err error
+	w.run(t, w.web, func(th *kernel.Thread) {
+		ents, ierr := w.rt.MustImport(th, "/run/db.sock", []EntryDesc{{
+			Name: "query", Sig: Signature{InRegs: 2, OutRegs: 1},
+		}})
+		if ierr != nil {
+			t.Error(ierr)
+			return
+		}
+		fut := ents[0].CallAsync(th, &Args{Regs: []uint64{5, 0}})
+		// The caller keeps working while the call runs.
+		th.ExecUser(20 * sim.Microsecond)
+		overlapped = !fut.Done()
+		out, err = fut.Wait(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || out.Regs[0] != 15 {
+		t.Fatalf("async result = %+v", out)
+	}
+	if !overlapped {
+		t.Fatal("async call did not overlap with the caller")
+	}
+}
+
+func TestCallAsyncCompletedBeforeWait(t *testing.T) {
+	w := newWorld(2)
+	w.export(t, PolicyLow, func(th *kernel.Thread, in *Args) *Args {
+		return &Args{Regs: []uint64{7}}
+	})
+	w.run(t, w.web, func(th *kernel.Thread) {
+		ents, _ := w.rt.MustImport(th, "/run/db.sock", []EntryDesc{{
+			Name: "query", Sig: Signature{InRegs: 2, OutRegs: 1},
+		}})
+		fut := ents[0].CallAsync(th, &Args{Regs: []uint64{0, 0}})
+		th.SleepFor(sim.Millis(1)) // let it finish first
+		if !fut.Done() {
+			t.Error("future should be done")
+		}
+		out, err := fut.Wait(th)
+		if err != nil || out.Regs[0] != 7 {
+			t.Errorf("late wait: %+v, %v", out, err)
+		}
+	})
+}
+
+func TestCallAsyncPropagatesFault(t *testing.T) {
+	w := newWorld(2)
+	w.export(t, PolicyLow, func(th *kernel.Thread, in *Args) *Args {
+		Fault(th, errTest)
+		return nil
+	})
+	var err error
+	w.run(t, w.web, func(th *kernel.Thread) {
+		ents, _ := w.rt.MustImport(th, "/run/db.sock", []EntryDesc{{
+			Name: "query", Sig: Signature{InRegs: 2, OutRegs: 1},
+		}})
+		fut := ents[0].CallAsync(th, &Args{Regs: []uint64{0, 0}})
+		_, err = fut.Wait(th)
+	})
+	if err == nil {
+		t.Fatal("fault in async callee must surface through the future")
+	}
+}
+
+var errTest = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "synthetic fault" }

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// unwindError is the non-local control transfer used to unwind the KCS
+// after a thread crash or process kill (§5.2.1): it travels up the Go
+// call stack (which mirrors the simulated cross-domain call chain),
+// letting each proxy frame restore its state, until the frame at the
+// target depth turns it into an error result for that frame's caller —
+// "loosely achieving exception semantics" (§2.4).
+type unwindError struct {
+	depth int // 1-based KCS depth whose caller receives the error
+	err   error
+}
+
+// Error implements error.
+func (u *unwindError) Error() string {
+	return fmt.Sprintf("dipc: unwinding to KCS depth %d: %v", u.depth, u.err)
+}
+
+// installUnwinder hooks the thread's fault delivery: when the thread
+// crashes while inside one or more proxied calls, the kernel unwinds the
+// KCS to the entry with the most recent calling process that is still
+// alive, flags the error to it, and resumes execution at that proxy
+// (dead intermediate callers are skipped, which is how process kills are
+// handled without deadlocking the call chain).
+func installUnwinder(t *kernel.Thread, ts *threadState) {
+	t.OnFault = func(err error) bool {
+		for i := len(ts.kcs) - 1; i >= 0; i-- {
+			if !ts.kcs[i].callerProc.Dead {
+				panic(&unwindError{depth: i + 1, err: err})
+			}
+		}
+		return false // no live caller: the thread dies
+	}
+}
+
+// Fault raises a crash on the current thread, entering the kernel fault
+// path. Inside a proxied call chain it unwinds as described above; on a
+// thread with an empty KCS it is fatal (the simulation panics), matching
+// a real unhandled fault.
+func Fault(t *kernel.Thread, err error) {
+	state(t) // ensure the unwinder is installed
+	t.Fault(err)
+}

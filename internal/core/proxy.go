@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/codoms"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// retCapReg is the capability register the proxy uses for the return
+// capability it mints in prepare_ret (P3).
+const retCapReg = codoms.NumCapRegs - 1
+
+// Proxy is one run-time-generated trusted code thunk bridging calls from
+// a caller domain into one entry point of a callee domain (Fig. 3,
+// domain P). Its code pages carry the CODOMs privileged-capability bit,
+// so it can run the privileged parts of the isolation policy (process
+// tracking, stack switching, DCS bounds) without entering the kernel.
+type Proxy struct {
+	rt         *Runtime
+	tmpl       *ProxyTemplate
+	entry      entryImpl
+	mp         mergedPolicy
+	sig        Signature
+	domTag     codoms.Tag
+	addr       mem.Addr // aligned proxy entry point
+	retAddr    mem.Addr // aligned proxy_ret
+	callerProc *kernel.Process
+	calleeProc *kernel.Process
+	cross      bool
+}
+
+// Template returns the template this proxy was specialized from.
+func (px *Proxy) Template() *ProxyTemplate { return px.tmpl }
+
+// Cross reports whether the proxy crosses processes.
+func (px *Proxy) Cross() bool { return px.cross }
+
+// liveRegs is the register count the stubs must preserve.
+func (px *Proxy) liveRegs() int {
+	if px.rt.FoldStubs {
+		return px.rt.WorstCaseLiveRegs
+	}
+	if px.sig.LiveRegs > 0 {
+		return px.sig.LiveRegs
+	}
+	return 6
+}
+
+// stubEnter is the isolate_call cost of one side's user stub.
+func (px *Proxy) stubEnter(props IsoProps) sim.Time {
+	p := px.rt.M.P
+	var d sim.Time
+	if props.Has(RegIntegrity) {
+		d += sim.Time(px.liveRegs()) * p.RegSave
+	}
+	if props.Has(RegConfidentiality) {
+		d += sim.Time(16-px.sig.InRegs) * p.RegZero
+	}
+	if props.Has(StackIntegrity) {
+		d += 2 * p.CapCreate // argument window + unused-area capability
+	}
+	return d
+}
+
+// stubExit is the deisolate_call / isolate_ret cost of one side's stub.
+func (px *Proxy) stubExit(props IsoProps) sim.Time {
+	p := px.rt.M.P
+	var d sim.Time
+	if props.Has(RegIntegrity) {
+		d += sim.Time(px.liveRegs()) * p.RegSave // restore
+	}
+	if props.Has(RegConfidentiality) {
+		d += sim.Time(16-px.sig.OutRegs) * p.RegZero
+	}
+	if props.Has(StackIntegrity) {
+		d += 2 * p.CapPushPop // drop the argument capabilities
+	}
+	return d
+}
+
+// stubBlock returns the accounting block stubs charge to: inlined stubs
+// are user code co-optimized with the application; folded stubs execute
+// inside the proxy.
+func (px *Proxy) stubBlock() stats.Block {
+	if px.rt.FoldStubs {
+		return stats.BlockProxy
+	}
+	return stats.BlockStub
+}
+
+// Call bridges one synchronous call through the proxy: Fig. 3 steps
+// 1–3 plus the return path. It performs the real CODOMs checks (the
+// caller needs call permission to the proxy domain; the callee returns
+// through the minted return capability), maintains the KCS, migrates the
+// thread across processes, and charges every modeled instruction.
+//
+// A fault raised below this frame (via core.Fault, a CODOMs violation,
+// or a process kill) unwinds here and surfaces as the returned error,
+// after all proxy state has been restored (P3/P5).
+func (ie *ImportedEntry) Call(t *kernel.Thread, in *Args) (*Args, error) {
+	return ie.proxy.invoke(t, in)
+}
+
+func (px *Proxy) invoke(t *kernel.Thread, in *Args) (out *Args, err error) {
+	rt := px.rt
+	p := rt.M.P
+	hw := t.HW
+	ts := state(t)
+	if px.calleeProc.Dead {
+		return nil, fmt.Errorf("dipc: callee process %q is dead", px.calleeProc.Name)
+	}
+	if in == nil {
+		in = &Args{}
+	}
+	rt.crossCalls++
+
+	// ---- caller stub: isolate_call ----
+	t.Exec(px.stubEnter(px.mp.callerStub), px.stubBlock())
+
+	// ---- architectural call into the proxy (P2: needs call permission
+	// to the proxy domain, lands only on the aligned entry) ----
+	callerIP := hw.IP()
+	if cerr := rt.M.Arch.Call(hw, rt.PT, px.addr); cerr != nil {
+		return nil, cerr // hardware fault reflected to the caller
+	}
+	t.Exec(p.FuncCall, stats.BlockUser)
+	if perr := rt.M.Arch.CheckPriv(hw, rt.PT); perr != nil {
+		return nil, perr // unreachable: proxy pages are privileged
+	}
+
+	// ---- proxy entry: prepare_ret + policy enter ----
+	enter := p.StackCheck + p.KCSPush + p.APLCacheLookup
+	fr := kcsEntry{proxy: px, callerProc: t.Process(), callerIP: callerIP}
+	retCap, rerr := rt.M.Arch.NewFromAPL(hw, rt.PT, px.domTag, px.retAddr,
+		int(rt.M.Arch.EntryAlign), codoms.PermCall, codoms.CapSync, nil)
+	if rerr != nil {
+		hw.SetIP(callerIP)
+		return nil, rerr
+	}
+	enter += p.CapCreate
+	fr.savedCap = hw.CapRegs[retCapReg]
+	hw.CapRegs[retCapReg] = retCap
+
+	if px.mp.proxy.Has(StackConfIntegrity) {
+		// isolate_pcall: switch to the callee's stack and copy the
+		// in-stack arguments by signature.
+		enter += p.StackSwitch + p.Copy(px.sig.StackBytes)
+	}
+	switch {
+	case px.mp.proxy.Has(DCSConfIntegrity):
+		tok, derr := hw.DCS.SwitchTo(min(px.sig.CapArgs, hw.DCS.Depth()))
+		if derr != nil {
+			hw.CapRegs[retCapReg] = fr.savedCap
+			hw.SetIP(callerIP)
+			return nil, derr
+		}
+		fr.dcsToken = tok
+		enter += p.DCSSwitch + sim.Time(px.sig.CapArgs)*p.CapLoadStore
+	case px.mp.proxy.Has(DCSIntegrity):
+		old, derr := hw.DCS.SetBase(hw.DCS.Top() - min(px.sig.CapArgs, hw.DCS.Depth()))
+		if derr != nil {
+			hw.CapRegs[retCapReg] = fr.savedCap
+			hw.SetIP(callerIP)
+			return nil, derr
+		}
+		fr.oldDCSBase = old
+		enter += p.DCSAdjust
+	}
+	t.Exec(enter, stats.BlockProxy)
+
+	ts.kcs = append(ts.kcs, fr)
+	depth := len(ts.kcs)
+
+	if px.cross {
+		// track_process_call: in-place process switch (§6.1.2).
+		px.trackProcessCall(t, ts)
+		ts.kcs[depth-1].migrated = true
+		t.Exec(p.TLSSwitch, stats.BlockTLS)
+	}
+
+	// Crash unwinding: restore this frame and either absorb or keep
+	// propagating (§5.2.1).
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		u, ok := r.(*unwindError)
+		if !ok {
+			panic(r)
+		}
+		px.unwindFrame(t, ts, depth)
+		if u.depth == depth {
+			out, err = nil, u.err
+			return
+		}
+		panic(u)
+	}()
+
+	// ---- call into the target entry point ----
+	if cerr := rt.M.Arch.Call(hw, rt.PT, px.entry.addr); cerr != nil {
+		px.unwindFrame(t, ts, depth)
+		return nil, cerr
+	}
+	t.Exec(p.FuncCall, stats.BlockUser)
+
+	// ---- callee stub + target function ----
+	t.Exec(px.stubEnter(px.mp.calleeStub), px.stubBlock())
+	result := px.entry.desc.Fn(t, in)
+	t.Exec(px.stubExit(px.mp.calleeStub), px.stubBlock())
+
+	// ---- return into proxy_ret through the minted capability (P3) ----
+	if cerr := rt.M.Arch.Call(hw, rt.PT, px.retAddr); cerr != nil {
+		px.unwindFrame(t, ts, depth)
+		return nil, cerr
+	}
+
+	// ---- proxy_ret: deprepare_ret + policy exit ----
+	exit := p.KCSPop
+	if px.mp.proxy.Has(StackConfIntegrity) {
+		exit += p.StackSwitch + p.Copy(px.sig.StackRet)
+	}
+	switch {
+	case px.mp.proxy.Has(DCSConfIntegrity):
+		nres := min(px.sig.CapRets, hw.DCS.Depth())
+		if derr := hw.DCS.RestoreFrom(ts.kcs[depth-1].dcsToken, nres); derr != nil {
+			px.unwindFrame(t, ts, depth)
+			return nil, derr
+		}
+		ts.kcs[depth-1].dcsToken = nil
+		exit += p.DCSSwitch + sim.Time(px.sig.CapRets)*p.CapLoadStore
+	case px.mp.proxy.Has(DCSIntegrity):
+		if _, derr := hw.DCS.SetBase(ts.kcs[depth-1].oldDCSBase); derr != nil {
+			px.unwindFrame(t, ts, depth)
+			return nil, derr
+		}
+		exit += p.DCSAdjust
+	}
+	if px.cross {
+		px.trackProcessRet(t, &ts.kcs[depth-1])
+		t.Exec(p.TLSSwitch, stats.BlockTLS)
+	}
+	hw.CapRegs[retCapReg] = ts.kcs[depth-1].savedCap
+	ts.kcs = ts.kcs[:depth-1]
+	t.Exec(exit, stats.BlockProxy)
+	hw.SetIP(callerIP)
+
+	// ---- caller stub: deisolate_call ----
+	t.Exec(px.stubExit(px.mp.callerStub), px.stubBlock())
+	return result, nil
+}
+
+// unwindFrame restores the proxy state recorded in the KCS entry at
+// depth (1-based) during fault unwinding or a failed call, then pops it.
+// The restore mirrors proxy_ret: process migration, TLS, DCS and the
+// spilled capability register.
+func (px *Proxy) unwindFrame(t *kernel.Thread, ts *threadState, depth int) {
+	if depth != len(ts.kcs) {
+		panic(fmt.Sprintf("dipc: unwind depth %d does not match KCS depth %d", depth, len(ts.kcs)))
+	}
+	p := px.rt.M.P
+	fr := &ts.kcs[depth-1]
+	hw := t.HW
+	cost := p.KCSPop
+	if fr.migrated {
+		t.MigrateTo(fr.callerProc)
+		cost += p.TrackProcessHot/2 + p.TLSSwitch
+	}
+	if fr.dcsToken != nil {
+		// Discard the callee's capability stack; no results cross back.
+		_ = hw.DCS.RestoreFrom(fr.dcsToken, 0)
+		cost += p.DCSSwitch
+	} else if px.mp.proxy.Has(DCSIntegrity) {
+		if fr.oldDCSBase <= hw.DCS.Top() {
+			_, _ = hw.DCS.SetBase(fr.oldDCSBase)
+		}
+		cost += p.DCSAdjust
+	}
+	hw.CapRegs[retCapReg] = fr.savedCap
+	ts.kcs = ts.kcs[:depth-1]
+	t.Exec(cost, stats.BlockProxy)
+	hw.SetIP(fr.callerIP)
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Cross-process call time-outs (§5.4). The paper designs (but does not
+// implement) time-outs that "split" a thread at the timed-out call site:
+// the kernel duplicates the thread structure and KCS, unrolls the
+// caller's KCS to the timing-out proxy, flags the error, and resumes the
+// caller there; the callee side keeps running on the split-off thread
+// and is deleted when it returns into the proxy.
+//
+// This implementation realizes those semantics. Because a Go call stack
+// cannot be split after the fact, the potential split is materialized at
+// call time: the callee half runs on a helper kernel thread in the
+// callee's process from the start. The timing consequence — helper
+// handoff costs that an in-place call would not pay — is therefore
+// modeled pessimistically for CallWithTimeout only; plain Call is
+// unaffected. No benchmark in the paper uses time-outs.
+
+// splitResult carries the callee half's outcome back to the caller.
+type splitResult struct {
+	out      *Args
+	err      error
+	timedOut bool // caller gave up; helper must not wake anybody
+}
+
+// CallWithTimeout invokes the entry like Call but resumes the caller
+// with an error if the callee does not finish within d. It requires the
+// stack confidentiality+integrity property, since a split only works
+// when the caller's stack is separate from the callee's (§5.4).
+func (ie *ImportedEntry) CallWithTimeout(t *kernel.Thread, in *Args, d sim.Time) (*Args, error) {
+	px := ie.proxy
+	if !px.mp.proxy.Has(StackConfIntegrity) {
+		return nil, fmt.Errorf("dipc: time-outs require stack confidentiality+integrity (§5.4)")
+	}
+	res := &splitResult{}
+	caller := t
+	// The callee half: a duplicate "kernel thread structure" carrying
+	// the call through the proxy on its own stack.
+	helper := px.rt.M.Spawn(px.callerProc, t.Name+"-split", nil, func(ht *kernel.Thread) {
+		// The helper inherits the caller's domain context.
+		ht.HW.SetIP(t.HW.IP())
+		out, err := px.invoke(ht, in)
+		res.out, res.err = out, err
+		if !res.timedOut {
+			caller.Wake(res, ht)
+		}
+		// Otherwise: the callee thread is deleted when it returns into
+		// the proxy that produced the split — i.e. here.
+	})
+	_ = helper
+	v, ok := t.BlockTimeout(nil, d)
+	if !ok {
+		// Timed out: flag the error and resume the caller at the
+		// timing-out proxy. Charge the split bookkeeping (duplicating
+		// the thread structure and KCS).
+		res.timedOut = true
+		t.Syscall(func() {
+			t.Exec(t.Machine().P.ContextSwitch(), stats.BlockKernel)
+		})
+		return nil, fmt.Errorf("dipc: call to %s timed out after %v", ie.Name, d)
+	}
+	r := v.(*splitResult)
+	return r.out, r.err
+}

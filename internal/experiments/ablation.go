@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps/oltp"
+	"repro/internal/cost"
+	"repro/internal/sim"
+)
+
+// Ablation experiments for the design choices DESIGN.md calls out. Each
+// removes (or degrades) one mechanism and re-measures, quantifying how
+// much of dIPC's performance that mechanism is responsible for.
+
+// TLSAblationResult quantifies §6.1.2/§7.2: "The TLS segment switch in
+// dIPC takes a large part of the time, so optimizing it would
+// substantially improve performance (1.54×–3.22×)".
+type TLSAblationResult struct {
+	LowBase, LowNoTLS   sim.Time
+	HighBase, HighNoTLS sim.Time
+}
+
+// LowSpeedup returns the Low-policy improvement from a free TLS switch.
+func (r *TLSAblationResult) LowSpeedup() float64 {
+	return float64(r.LowBase) / float64(r.LowNoTLS)
+}
+
+// HighSpeedup returns the High-policy improvement.
+func (r *TLSAblationResult) HighSpeedup() float64 {
+	return float64(r.HighBase) / float64(r.HighNoTLS)
+}
+
+// RunTLSAblation measures cross-process dIPC calls with the standard
+// wrfsbase-based TLS switch and with the paper's proposed optimized TLS
+// mode (processes as modules of one TLS segment: zero switch cost).
+func RunTLSAblation() *TLSAblationResult {
+	base := cost.Default()
+	noTLS := *base
+	noTLS.TLSSwitch = 0
+	return &TLSAblationResult{
+		LowBase:   MeasureDIPCParams(base, true, false, 1).Mean,
+		LowNoTLS:  MeasureDIPCParams(&noTLS, true, false, 1).Mean,
+		HighBase:  MeasureDIPCParams(base, true, true, 1).Mean,
+		HighNoTLS: MeasureDIPCParams(&noTLS, true, true, 1).Mean,
+	}
+}
+
+// Render formats the ablation.
+func (r *TLSAblationResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("== Ablation: TLS segment switch (§6.1.2, §7.2) ==\n")
+	fmt.Fprintf(&sb, "  dIPC+proc Low:  %s -> %s without TLS switch (%.2fx)\n",
+		r.LowBase, r.LowNoTLS, r.LowSpeedup())
+	fmt.Fprintf(&sb, "  dIPC+proc High: %s -> %s without TLS switch (%.2fx)\n",
+		r.HighBase, r.HighNoTLS, r.HighSpeedup())
+	sb.WriteString("  paper: optimizing the TLS switch would yield 1.54x-3.22x\n")
+	return sb.String()
+}
+
+// SharedPTAblationResult quantifies the global virtual address space
+// (§6.1.3): what the OLTP numbers would look like if dIPC processes kept
+// private page tables (and so paid CR3 switches and TLB refills whenever
+// the scheduler interleaves them).
+type SharedPTAblationResult struct {
+	SharedPT  *oltp.Result // real dIPC: one page table
+	PrivatePT *oltp.Result // ablated: per-process tables
+}
+
+// Penalty returns the throughput loss of giving up the shared table.
+func (r *SharedPTAblationResult) Penalty() float64 {
+	if r.SharedPT.Throughput == 0 {
+		return 0
+	}
+	return 1 - r.PrivatePT.Throughput/r.SharedPT.Throughput
+}
+
+// RunSharedPTAblation compares the two address-space organizations:
+// real dIPC with the shared page table, and the PrivatePT ablation
+// where the scheduler sees one table per process.
+func RunSharedPTAblation(threads int, window sim.Time) *SharedPTAblationResult {
+	// The on-disk configuration interleaves threads mid-call (commits
+	// block inside the database process), which is when private page
+	// tables hurt; the in-memory one barely context-switches.
+	shared := oltp.Run(oltp.Config{
+		Mode: oltp.ModeDIPC, InMemory: false, Threads: threads, Window: window, Seed: 5,
+	})
+	private := oltp.Run(oltp.Config{
+		Mode: oltp.ModeDIPC, InMemory: false, Threads: threads, Window: window, Seed: 5,
+		PrivatePT: true,
+	})
+	return &SharedPTAblationResult{SharedPT: shared, PrivatePT: private}
+}
+
+// Render formats the ablation.
+func (r *SharedPTAblationResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("== Ablation: shared page table / global VA space (§6.1.3) ==\n")
+	fmt.Fprintf(&sb, "  dIPC, shared table:  %8.0f ops/min\n", r.SharedPT.Throughput)
+	fmt.Fprintf(&sb, "  dIPC, private table: %8.0f ops/min (%.1f%% slower)\n",
+		r.PrivatePT.Throughput, 100*r.Penalty())
+	return sb.String()
+}
+
+// StealAblationResult quantifies the scheduler's idle-steal rebalancing
+// under the IPC-heavy Linux configuration (the transient imbalance the
+// paper blames for synchronous-IPC idle time, §7.4).
+type StealAblationResult struct {
+	WithSteal *oltp.Result
+	NoSteal   *oltp.Result
+}
+
+// RunStealAblation measures the Linux OLTP configuration with and
+// without idle stealing. Without it, wake-affinity clustering strands
+// runnable work behind busy CPUs while others idle.
+func RunStealAblation(threads int, window sim.Time) *StealAblationResult {
+	with := oltp.Run(oltp.Config{
+		Mode: oltp.ModeLinux, InMemory: true, Threads: threads, Window: window, Seed: 5,
+	})
+	noSteal := oltp.Run(oltp.Config{
+		Mode: oltp.ModeLinux, InMemory: true, Threads: threads, Window: window, Seed: 5,
+		DisableSteal: true,
+	})
+	return &StealAblationResult{WithSteal: with, NoSteal: noSteal}
+}
+
+// Render formats the ablation.
+func (r *StealAblationResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("== Ablation: scheduler idle stealing under IPC load ==\n")
+	fmt.Fprintf(&sb, "  with steal: %8.0f ops/min, idle %4.1f%%\n",
+		r.WithSteal.Throughput, 100*r.WithSteal.IdleShare())
+	fmt.Fprintf(&sb, "  no steal:   %8.0f ops/min, idle %4.1f%%\n",
+		r.NoSteal.Throughput, 100*r.NoSteal.IdleShare())
+	return sb.String()
+}

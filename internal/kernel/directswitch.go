@@ -1,0 +1,46 @@
+package kernel
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// DirectSwitch hands the CPU straight from the running thread to target,
+// bypassing the run queue: the L4-style synchronous IPC fast path, which
+// "successfully minimizes the kernel software overheads" (§2.2). target
+// must be blocked; data is delivered as its Block return value. The
+// caller blocks and later returns whatever value wakes it.
+//
+// extra is the kernel-path cost charged (block 4) on top of the
+// unavoidable state and address-space switch costs; the scheduler's
+// pick-next work is skipped, which is the point of the fast path.
+func (t *Thread) DirectSwitch(target *Thread, data any, extra sim.Time) any {
+	t.mustBeRunning()
+	if target.state != ThreadBlocked {
+		panic("kernel: DirectSwitch to non-blocked thread")
+	}
+	cpu := t.cpu
+	p := t.m.P
+	cpu.Acct.Add(stats.BlockKernel, extra)
+	// Minimal state switch: L4 passes the message in registers, so only
+	// a partial register file is saved/restored.
+	sw := p.CtxSwitchRegs / 2
+	cpu.Acct.Add(stats.BlockSched, sw)
+	delay := extra + sw
+	if cpu.lastPT != nil && target.proc.PageTable != cpu.lastPT {
+		cpu.Acct.Add(stats.BlockPT, p.PageTableSwitch+p.TLBRefill)
+		delay += p.PageTableSwitch + p.TLBRefill
+	}
+	if t.proc != target.proc {
+		cpu.Acct.Add(stats.BlockSched, p.CurrentSwitch)
+		delay += p.CurrentSwitch
+	}
+
+	t.state = ThreadBlocked
+	t.cpu = nil
+	t.schedWaiter = t.sp.PrepareWait()
+
+	target.wakeData = data
+	cpu.directSwitch(target, delay)
+	return t.sp.Wait()
+}

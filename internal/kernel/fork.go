@@ -1,0 +1,51 @@
+package kernel
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fork creates a child of the calling thread's process with POSIX
+// copy-on-write semantics (§6.1.3): the child gets a private page table
+// (its pages marked copy-on-write — modeled as a fresh table aliasing
+// the parent's frames lazily) and a copy of the descriptor table.
+// Forking temporarily disables dIPC in the child to preserve fork's
+// traditional semantics inside a shared address space; Exec with a
+// position-independent executable re-enables it (core.Runtime.Exec).
+func (m *Machine) Fork(t *Thread) *Process {
+	parent := t.Process()
+	var child *Process
+	t.Syscall(func() {
+		p := m.P
+		// Fork cost: duplicating the mm structures and write-protecting
+		// the parent's pages for copy-on-write.
+		pages := parent.PageTable.Mapped()
+		t.Exec(p.FutexWake+p.CacheLineTouch*sim.Time(pages/8+1), stats.BlockKernel)
+		child = m.NewProcess(parent.Name + "-child")
+		child.WorkingSet = parent.WorkingSet
+		for fd, obj := range parent.fds {
+			child.fds[fd] = obj
+			if fd > child.nextFD {
+				child.nextFD = fd
+			}
+		}
+		// dIPC is disabled in the child until exec (§6.1.3).
+		child.DIPC = false
+		child.VA = nil
+	})
+	return child
+}
+
+// ExecImage replaces the process image: the descriptor table survives
+// (close-on-exec is not modeled), memory is discarded. pic reports
+// whether the new image is position-independent code — the prerequisite
+// for re-enabling dIPC (done by the dIPC runtime layer).
+func (m *Machine) ExecImage(t *Thread, proc *Process, name string, pic bool) {
+	t.Syscall(func() {
+		t.Exec(m.P.FutexWake*4, stats.BlockKernel) // image load, mm teardown
+		proc.Name = name
+		proc.PageTable = mem.NewPageTable()
+		proc.PIC = pic
+	})
+}

@@ -1,0 +1,122 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/codoms"
+	"repro/internal/mem"
+)
+
+// Process is a simulated OS process: an address space, a file-descriptor
+// table, threads and (for dIPC-enabled processes) membership in the
+// global virtual address space.
+type Process struct {
+	PID  int
+	Name string
+
+	m         *Machine
+	PageTable *mem.PageTable
+	Threads   map[int]*Thread
+
+	fds    map[int]any
+	nextFD int
+
+	// DefaultTag is the CODOMs tag of the process's default domain
+	// (§5.2: "all processes get a single default domain").
+	DefaultTag codoms.Tag
+
+	// DIPC marks a dIPC-enabled process: loaded into the global virtual
+	// address space on a shared page table (§6.1.3).
+	DIPC bool
+
+	// PIC marks the current image as position-independent code, the
+	// prerequisite for loading into the global address space (§6.1.3).
+	PIC bool
+
+	// VA sub-allocates this process's share of the global address space.
+	VA *mem.Suballoc
+
+	// TLSBase is the thread-local-storage segment base; proxies switch
+	// it with wrfsbase on cross-process calls (§6.1.2).
+	TLSBase mem.Addr
+
+	// WorkingSet is the cache footprint (bytes) this process's threads
+	// re-populate after the CPU ran a different process — the
+	// second-order pollution cost of context switching (§2.2). Zero
+	// (the default) disables the charge.
+	WorkingSet int
+
+	Dead bool
+}
+
+// NewProcess creates a conventional process with a private page table
+// and its own default domain.
+func (m *Machine) NewProcess(name string) *Process {
+	m.nextPID++
+	p := &Process{
+		PID:       m.nextPID,
+		Name:      name,
+		m:         m,
+		PageTable: mem.NewPageTable(),
+		Threads:   make(map[int]*Thread),
+		fds:       make(map[int]any),
+	}
+	p.DefaultTag = m.Arch.NewDomain().Tag
+	m.procs[p.PID] = p
+	return p
+}
+
+// NewDIPCProcess creates a dIPC-enabled process: it shares the given
+// page table (one per global virtual address space) and allocates its
+// memory through the global block allocator. Position-independent
+// executables are assumed (§6.1.3).
+func (m *Machine) NewDIPCProcess(name string, shared *mem.PageTable) *Process {
+	p := m.NewProcess(name)
+	p.DIPC = true
+	p.PageTable = shared
+	p.VA = mem.NewSuballoc(m.Global, name)
+	// Reserve a page for the TLS segment.
+	base, err := p.VA.Alloc(mem.PageSize)
+	if err == nil {
+		p.TLSBase = base
+	}
+	return p
+}
+
+// AllocFD installs obj in the descriptor table and returns its number.
+// dIPC passes domain and entry-point handles between processes as file
+// descriptors (§5.2.2).
+func (p *Process) AllocFD(obj any) int {
+	p.nextFD++
+	p.fds[p.nextFD] = obj
+	return p.nextFD
+}
+
+// GetFD resolves a descriptor.
+func (p *Process) GetFD(fd int) (any, error) {
+	obj, ok := p.fds[fd]
+	if !ok {
+		return nil, fmt.Errorf("kernel: %s: bad file descriptor %d", p.Name, fd)
+	}
+	return obj, nil
+}
+
+// CloseFD removes a descriptor.
+func (p *Process) CloseFD(fd int) error {
+	if _, ok := p.fds[fd]; !ok {
+		return fmt.Errorf("kernel: %s: close of bad descriptor %d", p.Name, fd)
+	}
+	delete(p.fds, fd)
+	return nil
+}
+
+// NumFDs returns the number of open descriptors.
+func (p *Process) NumFDs() int { return len(p.fds) }
+
+// Kill marks the process dead. Threads currently inside it observe the
+// flag at their next fault-check point; dIPC treats process kills with
+// the same KCS-unwinding technique as thread crashes (§5.2.1).
+func (m *Machine) Kill(p *Process) {
+	p.Dead = true
+	delete(m.procs, p.PID)
+}

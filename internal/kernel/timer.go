@@ -1,0 +1,36 @@
+package kernel
+
+import "repro/internal/sim"
+
+// timeoutMark is the wake payload delivered by an expired block timeout.
+type timeoutMark struct{}
+
+// Timer is a cancelable one-shot wakeup used by BlockTimeout.
+type Timer struct {
+	armed bool
+}
+
+// Disarm prevents a pending timer from waking anybody.
+func (tm *Timer) Disarm() { tm.armed = false }
+
+// BlockTimeout parks the thread like Block but also arms a timer: if no
+// Wake arrives within d, the thread resumes with ok=false. The returned
+// Timer is already disarmed when ok=true.
+func (t *Thread) BlockTimeout(arm func(), d sim.Time) (data any, ok bool) {
+	tm := &Timer{armed: true}
+	v := t.Block(func() {
+		if arm != nil {
+			arm()
+		}
+		t.m.Eng.At(d, func() {
+			if tm.armed {
+				t.Wake(timeoutMark{}, nil)
+			}
+		})
+	})
+	tm.Disarm()
+	if _, timedOut := v.(timeoutMark); timedOut {
+		return nil, false
+	}
+	return v, true
+}

@@ -1,0 +1,87 @@
+package mem
+
+// TLB is a small fully-associative translation cache with FIFO
+// replacement. The simulator uses it to account translation behaviour
+// around page-table switches: conventional process switches flush the
+// TLB (the paper's Fig. 2 block 6 includes the refill cost), whereas
+// dIPC's shared page table never needs a flush.
+type TLB struct {
+	capacity int
+	entries  map[Addr]PageInfo
+	order    []Addr // FIFO eviction order
+	hits     uint64
+	misses   uint64
+	flushes  uint64
+}
+
+// NewTLB returns a TLB with the given number of entries.
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &TLB{
+		capacity: capacity,
+		entries:  make(map[Addr]PageInfo, capacity),
+	}
+}
+
+// vpn returns the virtual page number key for an address.
+func vpn(va Addr) Addr { return va >> PageShift }
+
+// Lookup translates va through the TLB, falling back to a walk of pt on
+// a miss and installing the translation. The boolean reports a hit.
+func (t *TLB) Lookup(pt *PageTable, va Addr) (PageInfo, bool) {
+	key := vpn(va)
+	if pi, ok := t.entries[key]; ok {
+		t.hits++
+		return pi, true
+	}
+	t.misses++
+	pi, ok := pt.Lookup(va)
+	if ok {
+		t.insert(key, pi)
+	}
+	return pi, false
+}
+
+func (t *TLB) insert(key Addr, pi PageInfo) {
+	if _, exists := t.entries[key]; !exists && len(t.entries) >= t.capacity {
+		victim := t.order[0]
+		t.order = t.order[1:]
+		delete(t.entries, victim)
+	}
+	if _, exists := t.entries[key]; !exists {
+		t.order = append(t.order, key)
+	}
+	t.entries[key] = pi
+}
+
+// Invalidate drops the translation for va (e.g. after Retag or Unmap).
+func (t *TLB) Invalidate(va Addr) {
+	key := vpn(va)
+	if _, ok := t.entries[key]; !ok {
+		return
+	}
+	delete(t.entries, key)
+	for i, k := range t.order {
+		if k == key {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Flush empties the TLB (page-table switch on a conventional CPU).
+func (t *TLB) Flush() {
+	t.entries = make(map[Addr]PageInfo, t.capacity)
+	t.order = t.order[:0]
+	t.flushes++
+}
+
+// Stats returns (hits, misses, flushes).
+func (t *TLB) Stats() (hits, misses, flushes uint64) {
+	return t.hits, t.misses, t.flushes
+}
+
+// Len returns the number of cached translations.
+func (t *TLB) Len() int { return len(t.entries) }

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a single entry in the engine's time-ordered queue. An event
+// either resumes a parked Proc or runs a callback in the engine context.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	proc *Proc  // if non-nil, resume this proc...
+	gen  uint64 // ...but only if it is still parked on this generation
+	data any    // value returned from the proc's park
+	fn   func() // if proc is nil, run this callback
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator. It owns the
+// simulated clock and the event queue, and hands control to exactly one
+// Proc at a time. All mutation of simulation state therefore happens
+// race-free, without locks, in a well-defined order.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *Rand
+
+	yield    chan struct{} // running proc -> engine handoff
+	running  *Proc
+	live     int  // procs spawned and not yet finished
+	inLoop   bool // Run/Step is active
+	panicVal any  // re-thrown panic from a proc
+}
+
+// NewEngine returns an engine with the clock at zero and the given
+// deterministic seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		rng:   NewRand(seed),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Live returns the number of spawned Procs that have not yet finished.
+func (e *Engine) Live() int { return e.live }
+
+func (e *Engine) push(at Time, p *Proc, gen uint64, data any, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, proc: p, gen: gen, data: data, fn: fn})
+}
+
+// At schedules fn to run in the engine context after delay d. The callback
+// must not park (it does not run on a Proc); it is intended for timers,
+// interrupt delivery and bookkeeping.
+func (e *Engine) At(d Time, fn func()) {
+	e.push(e.now+d, nil, 0, nil, fn)
+}
+
+// Spawn creates a new simulated thread running fn and schedules it to
+// start after delay d. The backing goroutine parks immediately and only
+// executes while the engine hands it control.
+func (e *Engine) Spawn(name string, d Time, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan wakeMsg),
+		parked: true,
+	}
+	e.live++
+	go func() {
+		msg := <-p.resume // wait for first dispatch
+		_ = msg
+		defer func() {
+			p.finished = true
+			e.live--
+			if r := recover(); r != nil && e.panicVal == nil {
+				e.panicVal = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+			}
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	p.gen++
+	e.push(e.now+d, p, p.gen, nil, nil)
+	return p
+}
+
+// dispatch hands control to p, delivering data as the park return value,
+// and blocks until p parks again or finishes.
+func (e *Engine) dispatch(p *Proc, data any) {
+	prev := e.running
+	e.running = p
+	p.parked = false
+	p.resume <- wakeMsg{data: data}
+	<-e.yield
+	e.running = prev
+	if e.panicVal != nil {
+		v := e.panicVal
+		e.panicVal = nil
+		panic(v)
+	}
+}
+
+// Step processes the single next event. It reports false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.proc != nil {
+			p := ev.proc
+			// Stale wakeups (a timer firing after its waiter was
+			// already woken through another path) are dropped.
+			if p.finished || !p.parked || p.gen != ev.gen {
+				continue
+			}
+			e.now = ev.at
+			e.dispatch(p, ev.data)
+			return true
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty. If Procs remain parked
+// with no pending event to wake them, the simulation has deadlocked; Run
+// returns and the caller can inspect Live().
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes events up to and including time t, then sets the
+// clock to t. Events scheduled after t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}

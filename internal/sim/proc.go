@@ -1,0 +1,93 @@
+package sim
+
+// wakeMsg is the value passed from the engine to a resuming Proc.
+type wakeMsg struct {
+	data any
+}
+
+// Proc is a simulated thread of execution. Its code runs on a dedicated
+// goroutine, but the engine guarantees mutual exclusion: a Proc only runs
+// between a dispatch and the next park. Simulated time advances only while
+// the Proc is parked (Sleep) — computation itself is free unless the
+// caller charges for it explicitly, which is exactly what the kernel layer
+// does with its cost model.
+type Proc struct {
+	eng      *Engine
+	name     string
+	resume   chan wakeMsg
+	gen      uint64
+	parked   bool
+	finished bool
+
+	// Ctx is an arbitrary slot for higher layers; the kernel stores the
+	// owning thread here so that deep call chains can recover it without
+	// threading an extra parameter everywhere.
+	Ctx any
+}
+
+// Name returns the name given at Spawn time (used in traces and tests).
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// park suspends the proc until the engine delivers a wakeup for the
+// current generation, and returns the delivered data.
+func (p *Proc) park() any {
+	p.parked = true
+	p.eng.yield <- struct{}{}
+	msg := <-p.resume
+	return msg.data
+}
+
+// Sleep advances simulated time by d from this Proc's perspective.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.gen++
+	p.eng.push(p.eng.now+d, p, p.gen, nil, nil)
+	p.park()
+}
+
+// Waiter is a one-shot wake handle for a parked Proc. It is created
+// before parking (PrepareWait) so that wakers racing with the sleeper in
+// simulated time have a stable token; a Waiter whose generation has passed
+// is silently ignored.
+type Waiter struct {
+	p   *Proc
+	gen uint64
+}
+
+// PrepareWait arms the Proc for a Wait and returns the handle other code
+// can use to wake it. It must be followed by Wait on the same Proc.
+func (p *Proc) PrepareWait() Waiter {
+	p.gen++
+	return Waiter{p: p, gen: p.gen}
+}
+
+// Wait parks until the Waiter from the preceding PrepareWait is fired,
+// returning the data passed to Wake.
+func (p *Proc) Wait() any {
+	return p.park()
+}
+
+// Proc returns the proc this waiter will wake.
+func (w Waiter) Proc() *Proc { return w.p }
+
+// Valid reports whether the waiter could still deliver a wakeup.
+func (w Waiter) Valid() bool {
+	return w.p != nil && !w.p.finished && w.gen == w.p.gen
+}
+
+// Wake schedules the waiter's Proc to resume after delay d, delivering
+// data from its Wait call. Firing a stale Waiter is harmless.
+func (w Waiter) Wake(d Time, data any) {
+	if w.p == nil {
+		return
+	}
+	w.p.eng.push(w.p.eng.now+d, w.p, w.gen, data, nil)
+}

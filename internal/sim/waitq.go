@@ -1,0 +1,83 @@
+package sim
+
+// WaitQueue is a FIFO queue of parked Procs, the building block for
+// futexes, pipe buffers, socket queues and scheduler wait lists. Wakeups
+// are scheduled through the event queue, so they take effect in simulated
+// time order like everything else.
+type WaitQueue struct {
+	waiters []Waiter
+}
+
+// Len returns the number of parked waiters (stale entries are pruned on
+// the fly by the wake paths, so Len may briefly over-count after a
+// timeout; callers that care use WakeOne's return value instead).
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// timeoutMark distinguishes a timer wakeup from a genuine WakeOne.
+type timeoutMark struct{}
+
+// TimedOut reports whether a value returned by Wait/WaitTimeout came from
+// the timeout path rather than an explicit wake.
+func TimedOut(v any) bool {
+	_, ok := v.(timeoutMark)
+	return ok
+}
+
+// Wait parks p on the queue until a WakeOne/WakeAll delivers it, and
+// returns the data passed by the waker.
+func (q *WaitQueue) Wait(p *Proc) any {
+	w := p.PrepareWait()
+	q.waiters = append(q.waiters, w)
+	return p.Wait()
+}
+
+// WaitTimeout parks p for at most d. The boolean result is false if the
+// wait timed out, in which case p has been removed from the queue.
+func (q *WaitQueue) WaitTimeout(p *Proc, d Time) (any, bool) {
+	w := p.PrepareWait()
+	q.waiters = append(q.waiters, w)
+	w.Wake(d, timeoutMark{})
+	v := p.Wait()
+	if TimedOut(v) {
+		q.remove(w)
+		return nil, false
+	}
+	return v, true
+}
+
+func (q *WaitQueue) remove(w Waiter) {
+	for i := range q.waiters {
+		if q.waiters[i] == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// WakeOne wakes the oldest still-valid waiter after delay d, delivering
+// data. It reports whether a waiter was woken.
+func (q *WaitQueue) WakeOne(d Time, data any) bool {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.Valid() {
+			w.Wake(d, data)
+			return true
+		}
+	}
+	return false
+}
+
+// WakeAll wakes every valid waiter after delay d and returns how many were
+// woken.
+func (q *WaitQueue) WakeAll(d Time, data any) int {
+	n := 0
+	for _, w := range q.waiters {
+		if w.Valid() {
+			w.Wake(d, data)
+			n++
+		}
+	}
+	q.waiters = q.waiters[:0]
+	return n
+}

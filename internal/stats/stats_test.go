@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestBreakdownAddTotal(t *testing.T) {
+	var bd Breakdown
+	bd.Add(BlockUser, 10*sim.Nanosecond)
+	bd.Add(BlockKernel, 20*sim.Nanosecond)
+	bd.Add(BlockIdle, 5*sim.Nanosecond)
+	if bd.Total() != 35*sim.Nanosecond {
+		t.Fatalf("Total = %v, want 35ns", bd.Total())
+	}
+	if bd.Busy() != 30*sim.Nanosecond {
+		t.Fatalf("Busy = %v, want 30ns", bd.Busy())
+	}
+}
+
+func TestBreakdownAddNegativeIgnored(t *testing.T) {
+	var bd Breakdown
+	bd.Add(BlockUser, -sim.Nanosecond)
+	if bd.Total() != 0 {
+		t.Fatal("negative charge should be ignored")
+	}
+}
+
+func TestBreakdownSubRoundTrip(t *testing.T) {
+	f := func(a, b uint32) bool {
+		var x, y Breakdown
+		x.Add(BlockUser, sim.Time(a))
+		y.Add(BlockUser, sim.Time(b))
+		diff := x.Sub(y)
+		return diff[BlockUser] == sim.Time(a)-sim.Time(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownScale(t *testing.T) {
+	var bd Breakdown
+	bd.Add(BlockUser, 100*sim.Nanosecond)
+	s := bd.Scale(4)
+	if s[BlockUser] != 25*sim.Nanosecond {
+		t.Fatalf("Scale(4) = %v, want 25ns", s[BlockUser])
+	}
+	// Scaling by non-positive is identity.
+	if bd.Scale(0)[BlockUser] != 100*sim.Nanosecond {
+		t.Fatal("Scale(0) should be identity")
+	}
+}
+
+func TestBreakdownShare(t *testing.T) {
+	var bd Breakdown
+	bd.Add(BlockUser, 30*sim.Nanosecond)
+	bd.Add(BlockIdle, 70*sim.Nanosecond)
+	if got := bd.Share(BlockIdle); got < 0.699 || got > 0.701 {
+		t.Fatalf("Share(idle) = %v, want 0.7", got)
+	}
+	var zero Breakdown
+	if zero.Share(BlockUser) != 0 {
+		t.Fatal("empty breakdown share must be 0")
+	}
+}
+
+func TestBlockNames(t *testing.T) {
+	if BlockUser.String() != "User code" {
+		t.Fatalf("BlockUser = %q", BlockUser.String())
+	}
+	if !strings.Contains(BlockSched.String(), "ctxt") {
+		t.Fatalf("BlockSched = %q", BlockSched.String())
+	}
+	if Block(99).String() != "Block(99)" {
+		t.Fatalf("out of range = %q", Block(99).String())
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	var bd Breakdown
+	bd.Add(BlockUser, 10*sim.Nanosecond)
+	s := bd.String()
+	if !strings.Contains(s, "User code") || !strings.Contains(s, "TOTAL") {
+		t.Fatalf("unexpected rendering:\n%s", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta", "22")
+	s := tb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "alpha") {
+		t.Fatalf("table missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines (title, header, rule, 2 rows), got %d:\n%s", len(lines), s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	tb.AddRow(`has,comma`, `has"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has,comma"`) || !strings.Contains(csv, `"has""quote"`) {
+		t.Fatalf("CSV quoting wrong:\n%s", csv)
+	}
+}
+
+func TestSeriesAdd(t *testing.T) {
+	var s Series
+	s.Add(1, 2)
+	s.Add(3, 4)
+	if len(s.X) != 2 || s.Y[1] != 4 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := Bar("t", []string{"a", "b"}, []float64{1, 2}, "ns", 10, false)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "##") {
+		t.Fatalf("bar chart malformed:\n%s", out)
+	}
+	// Sorted: b (larger) first.
+	ib := strings.Index(out, "b ")
+	ia := strings.Index(out, "a ")
+	if ib > ia {
+		t.Fatalf("expected b before a:\n%s", out)
+	}
+	// keepOrder preserves input order.
+	out2 := Bar("t", []string{"a", "b"}, []float64{1, 2}, "ns", 10, true)
+	if strings.Index(out2, "a ") > strings.Index(out2, "b ") {
+		t.Fatalf("keepOrder violated:\n%s", out2)
+	}
+}
