@@ -6,6 +6,10 @@
 // The benchmarks report the simulated quantities the paper plots via
 // b.ReportMetric (simulated nanoseconds, ops/min, overhead percentages),
 // alongside the usual wall-clock cost of running the simulation itself.
+// The Run* sweeps fan their independent simulation points out over the
+// experiments package's worker pool (one worker per CPU by default), so
+// the wall-clock numbers reflect the parallel harness; results are
+// identical to the sequential path.
 package repro
 
 import (
@@ -141,6 +145,25 @@ func benchFig8(b *testing.B, inMem bool) {
 			b.ReportMetric(dip/lin, "x-dipc-speedup/T="+itoa(th))
 		}
 	}
+}
+
+// BenchmarkFig8Scaling regenerates the throughput-vs-cores extension of
+// Figure 8: the three stacks on 1..4 simulated CPUs at a fixed thread
+// count (cmd/dipcbench -full fig8scaling runs the 1..8 axis).
+func BenchmarkFig8Scaling(b *testing.B) {
+	cpus := []int{1, 2, 4}
+	var r *experiments.Fig8ScalingResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunFig8Scaling(cpus, 8, sim.Millis(100))
+	}
+	for _, nc := range cpus {
+		lin := r.Throughput(oltp.ModeLinux, nc)
+		dip := r.Throughput(oltp.ModeDIPC, nc)
+		if lin > 0 {
+			b.ReportMetric(dip/lin, "x-dipc-speedup/C="+itoa(nc))
+		}
+	}
+	b.ReportMetric(r.ScalingFactor(oltp.ModeDIPC), "x-dipc-scaling")
 }
 
 // BenchmarkSetjmpVsTry regenerates the §5.3.1 stub experiment (paper:

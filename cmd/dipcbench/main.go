@@ -1,15 +1,20 @@
 // Command dipcbench regenerates the paper's tables and figures from the
 // simulation. Usage:
 //
-//	dipcbench [-window ms] [-full] [experiment ...]
+//	dipcbench [-window ms] [-full] [-parallel n] [experiment ...]
 //
 // where each experiment is one of: anchors, fig1, fig2, table1, fig5,
-// fig6, fig7, fig8, sensitivity, all (default: all).
+// fig6, fig7, fig8, fig8scaling, sensitivity, ablations, all
+// (default: all). Independent sweep points run concurrently on a worker
+// pool (-parallel, alias -j; default: one worker per CPU); the output is
+// identical whatever the worker count.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -18,12 +23,28 @@ import (
 )
 
 func main() {
-	windowMs := flag.Float64("window", 250, "OLTP measurement window in milliseconds")
-	full := flag.Bool("full", false, "run the full-resolution sweeps (slower)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run executes the command against the given argument list and streams;
+// main is a thin wrapper so tests can drive the whole command in-process.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dipcbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	windowMs := fs.Float64("window", 250, "OLTP measurement window in milliseconds")
+	full := fs.Bool("full", false, "run the full-resolution sweeps (slower)")
+	parallel := fs.Int("parallel", 0, "sweep worker count (0 = one per CPU, 1 = sequential)")
+	fs.IntVar(parallel, "j", 0, "alias for -parallel")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	experiments.SetParallelism(*parallel)
 	window := sim.Millis(*windowMs)
-	args := flag.Args()
+	args := fs.Args()
 	if len(args) == 0 {
 		args = []string{"all"}
 	}
@@ -31,30 +52,44 @@ func main() {
 	for _, a := range args {
 		want[strings.ToLower(a)] = true
 	}
+	known := []string{"anchors", "table1", "fig1", "fig2", "fig5", "fig6", "fig7",
+		"fig8", "fig8scaling", "sensitivity", "ablations", "all"}
+	for a := range want {
+		found := false
+		for _, k := range known {
+			if a == k {
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(stderr, "unknown experiment %q (known: %s)\n", a, strings.Join(known, ", "))
+			return 2
+		}
+	}
 	sel := func(name string) bool { return want["all"] || want[name] }
 
 	if sel("anchors") {
 		f := experiments.MeasureFunc()
 		s := experiments.MeasureSyscall()
-		fmt.Printf("== Scalar anchors (§2.2) ==\n")
-		fmt.Printf("  function call: %s (paper: <2ns)\n", f.Mean)
-		fmt.Printf("  empty syscall: %s (paper: ~34ns)\n\n", s.Mean)
+		fmt.Fprintf(stdout, "== Scalar anchors (§2.2) ==\n")
+		fmt.Fprintf(stdout, "  function call: %s (paper: <2ns)\n", f.Mean)
+		fmt.Fprintf(stdout, "  empty syscall: %s (paper: ~34ns)\n\n", s.Mean)
 	}
 	if sel("table1") {
-		fmt.Println(experiments.RunTable1(4096).Render())
+		fmt.Fprintln(stdout, experiments.RunTable1(4096).Render())
 	}
 	if sel("fig2") {
-		fmt.Println(experiments.RunFig2().Render())
+		fmt.Fprintln(stdout, experiments.RunFig2().Render())
 	}
 	if sel("fig5") {
-		fmt.Println(experiments.RunFig5().Render())
+		fmt.Fprintln(stdout, experiments.RunFig5().Render())
 	}
 	if sel("fig6") {
 		max := 14
 		if *full {
 			max = 20
 		}
-		fmt.Println(experiments.RunFig6(experiments.Fig6Sizes(max)).Render())
+		fmt.Fprintln(stdout, experiments.RunFig6(experiments.Fig6Sizes(max)).Render())
 	}
 	if sel("fig7") {
 		var sizes []int
@@ -65,10 +100,10 @@ func main() {
 		for p := 0; p <= 12; p += step {
 			sizes = append(sizes, 1<<p)
 		}
-		fmt.Println(experiments.RunFig7(sizes).Render())
+		fmt.Fprintln(stdout, experiments.RunFig7(sizes).Render())
 	}
 	if sel("fig1") {
-		fmt.Println(experiments.RunFig1(window).Render())
+		fmt.Fprintln(stdout, experiments.RunFig1(window).Render())
 	}
 	if sel("fig8") {
 		threads := []int{4, 16, 64}
@@ -76,28 +111,23 @@ func main() {
 			threads = experiments.Fig8Threads
 		}
 		for _, inMem := range []bool{false, true} {
-			fmt.Println(experiments.RunFig8(inMem, threads, window).Render())
+			fmt.Fprintln(stdout, experiments.RunFig8(inMem, threads, window).Render())
 		}
+	}
+	if sel("fig8scaling") {
+		cpus := []int{1, 2, 4}
+		if *full {
+			cpus = experiments.Fig8ScalingCPUs
+		}
+		fmt.Fprintln(stdout, experiments.RunFig8Scaling(cpus, 16, window).Render())
 	}
 	if sel("sensitivity") {
-		fmt.Println(experiments.RunSensitivity(16, window).Render())
+		fmt.Fprintln(stdout, experiments.RunSensitivity(16, window).Render())
 	}
 	if sel("ablations") {
-		fmt.Println(experiments.RunTLSAblation().Render())
-		fmt.Println(experiments.RunSharedPTAblation(16, window).Render())
-		fmt.Println(experiments.RunStealAblation(16, window).Render())
+		fmt.Fprintln(stdout, experiments.RunTLSAblation().Render())
+		fmt.Fprintln(stdout, experiments.RunSharedPTAblation(16, window).Render())
+		fmt.Fprintln(stdout, experiments.RunStealAblation(16, window).Render())
 	}
-	known := []string{"anchors", "table1", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "sensitivity", "ablations", "all"}
-	for a := range want {
-		found := false
-		for _, k := range known {
-			if a == k {
-				found = true
-			}
-		}
-		if !found {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n", a, strings.Join(known, ", "))
-			os.Exit(2)
-		}
-	}
+	return 0
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAnchorsAndTable1(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"anchors", "table1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"Scalar anchors", "function call", "Table 1", "CODOMs"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFig8ScalingExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("OLTP sweep is slow")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-window", "40", "fig8scaling"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "vs cores") {
+		t.Fatalf("missing scaling table:\n%s", out.String())
+	}
+}
+
+func TestRunParallelFlagMatchesSequential(t *testing.T) {
+	render := func(args ...string) string {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	seq := render("-parallel", "1", "fig2")
+	par := render("-j", "4", "fig2")
+	if seq != par {
+		t.Fatalf("parallel output diverged:\n%s\nvs\n%s", par, seq)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"fig99"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unknown experiment still produced output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

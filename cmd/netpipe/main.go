@@ -4,18 +4,33 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/apps/netpipe"
 )
 
 func main() {
-	variant := flag.String("variant", "dipc", "bare, dipc, dipcproc, kernel, sem, pipe")
-	maxPow := flag.Int("maxpow", 12, "largest transfer size as a power of two")
-	rounds := flag.Int("rounds", 100, "latency rounds / bandwidth messages per size")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command against the given argument list and streams;
+// main is a thin wrapper so tests can drive the whole command in-process.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("netpipe", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	variant := fs.String("variant", "dipc", "bare, dipc, dipcproc, kernel, sem, pipe")
+	maxPow := fs.Int("maxpow", 12, "largest transfer size as a power of two")
+	rounds := fs.Int("rounds", 100, "latency rounds / bandwidth messages per size")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	variants := map[string]netpipe.Variant{
 		"bare": netpipe.Bare, "dipc": netpipe.DIPC, "dipcproc": netpipe.DIPCProc,
@@ -23,19 +38,20 @@ func main() {
 	}
 	v, ok := variants[*variant]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown variant %q\n", *variant)
+		return 2
 	}
-	fmt.Printf("%-10s %14s %14s %12s %12s\n", "size[B]", "latency", "bare lat", "lat ovh[%]", "bw ovh[%]")
+	fmt.Fprintf(stdout, "%-10s %14s %14s %12s %12s\n", "size[B]", "latency", "bare lat", "lat ovh[%]", "bw ovh[%]")
 	for p := 0; p <= *maxPow; p++ {
 		size := 1 << p
 		bareLat := netpipe.Setup(netpipe.Bare, 1).RunLatency(size, *rounds)
 		lat := netpipe.Setup(v, 1).RunLatency(size, *rounds)
 		bareBW := netpipe.Setup(netpipe.Bare, 1).RunBandwidth(size, *rounds)
 		bw := netpipe.Setup(v, 1).RunBandwidth(size, *rounds)
-		fmt.Printf("%-10d %14s %14s %12.2f %12.2f\n",
+		fmt.Fprintf(stdout, "%-10d %14s %14s %12.2f %12.2f\n",
 			size, lat, bareLat,
 			(float64(lat)-float64(bareLat))/float64(bareLat)*100,
 			(1-bw/bareBW)*100)
 	}
+	return 0
 }

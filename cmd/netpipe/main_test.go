@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDIPCSweep(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-maxpow", "3", "-rounds", "20"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// Header plus one row per power of two from 2^0 to 2^3.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], "lat ovh[%]") {
+		t.Fatalf("missing header: %s", lines[0])
+	}
+}
+
+func TestRunRejectsUnknownVariant(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-variant", "tcp"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown variant") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}

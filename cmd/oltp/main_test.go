@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDIPCInMemory(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-mode", "dipc", "-inmem", "-threads", "8", "-window", "60"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"config:", "dIPC", "throughput:", "ops/min", "calls/op"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "throughput:  0 ops/min") {
+		t.Fatalf("zero throughput:\n%s", got)
+	}
+}
+
+func TestRunRejectsUnknownMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-mode", "windows"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown mode") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -10,21 +10,34 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/apps/netpipe"
+	"repro/internal/sim"
 )
 
 func main() {
+	demo(os.Stdout)
+}
+
+// demo measures the ping-pong latency of every isolation variant and
+// returns them keyed by variant (testable from the smoke test).
+func demo(w io.Writer) map[netpipe.Variant]sim.Time {
 	const size = 64 // typical small-message RDMA transfer
-	fmt.Printf("NPtcp-style ping-pong latency, %d-byte messages:\n\n", size)
+	fmt.Fprintf(w, "NPtcp-style ping-pong latency, %d-byte messages:\n\n", size)
+	out := make(map[netpipe.Variant]sim.Time)
 	bare := netpipe.Setup(netpipe.Bare, 1).RunLatency(size, 100)
-	fmt.Printf("  %-18s %10s   (baseline: direct user-level driver)\n", "bare", bare)
+	out[netpipe.Bare] = bare
+	fmt.Fprintf(w, "  %-18s %10s   (baseline: direct user-level driver)\n", "bare", bare)
 	for _, v := range []netpipe.Variant{
 		netpipe.DIPC, netpipe.DIPCProc, netpipe.Kernel, netpipe.Sem, netpipe.Pipe,
 	} {
 		lat := netpipe.Setup(v, 1).RunLatency(size, 100)
+		out[v] = lat
 		overhead := (float64(lat) - float64(bare)) / float64(bare) * 100
-		fmt.Printf("  %-18s %10s   (+%.1f%%)\n", v, lat, overhead)
+		fmt.Fprintf(w, "  %-18s %10s   (+%.1f%%)\n", v, lat, overhead)
 	}
-	fmt.Println("\nPaper §7.3: dIPC ~1%, kernel ~10%, IPC >100% latency overhead.")
+	fmt.Fprintln(w, "\nPaper §7.3: dIPC ~1%, kernel ~10%, IPC >100% latency overhead.")
+	return out
 }

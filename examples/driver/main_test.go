@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/apps/netpipe"
+)
+
+func TestDriverIsolationOrdering(t *testing.T) {
+	var out bytes.Buffer
+	lats := demo(&out)
+	bare := lats[netpipe.Bare]
+	if bare == 0 {
+		t.Fatal("bare latency is zero")
+	}
+	// Every isolation mechanism costs something over bare metal, and
+	// dIPC must stay the cheapest (the point of §7.3).
+	for v, lat := range lats {
+		if v != netpipe.Bare && lat <= bare {
+			t.Errorf("%v latency %v not above bare %v", v, lat, bare)
+		}
+	}
+	for _, v := range []netpipe.Variant{netpipe.Kernel, netpipe.Sem, netpipe.Pipe} {
+		if lats[netpipe.DIPC] >= lats[v] {
+			t.Errorf("dIPC (%v) should be cheaper than %v (%v)", lats[netpipe.DIPC], v, lats[v])
+		}
+	}
+}

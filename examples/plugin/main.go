@@ -13,6 +13,8 @@ package main
 import (
 	"errors"
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/codoms"
 	"repro/internal/core"
@@ -24,12 +26,19 @@ import (
 )
 
 func main() {
+	demo(os.Stdout)
+}
+
+// demo loads the plugin, exercises the normal and crashing calls and the
+// asymmetric direct read, and returns the plugin-call count, the error
+// recovered from the crash and the direct-read check result (testable
+// from the smoke test).
+func demo(w io.Writer) (calls int, crashErr, readErr error) {
 	eng := sim.NewEngine(7)
 	machine := kernel.NewMachine(eng, cost.Default(), 1)
 	rt := core.NewRuntime(machine)
 	app := rt.NewProcess("app")
 
-	calls := 0
 	manifest := &loader.Manifest{
 		Name: "app-with-plugin",
 		Domains: []loader.DomainSpec{
@@ -50,7 +59,7 @@ func main() {
 		arch := rt.Arch()
 		appTag := im.Domains["default"].Tag()
 		plugTag := im.Domains["plugin"].Tag()
-		fmt.Printf("app->plugin APL: %v; plugin->app APL: %v (asymmetric)\n",
+		fmt.Fprintf(w, "app->plugin APL: %v; plugin->app APL: %v (asymmetric)\n",
 			arch.APLPerm(appTag, plugTag), arch.APLPerm(plugTag, appTag))
 
 		// Export a plugin entry point in the plugin domain and import
@@ -84,13 +93,13 @@ func main() {
 
 		// Normal call.
 		out, err := ents[0].Call(t, &core.Args{Regs: []uint64{21}})
-		fmt.Printf("render(21) = %d, err=%v\n", out.Regs[0], err)
+		fmt.Fprintf(w, "render(21) = %d, err=%v\n", out.Regs[0], err)
 
 		// Crashing call: the fault unwinds through the proxy and comes
 		// back as an error — exception semantics, not a dead process.
-		_, err = ents[0].Call(t, &core.Args{Regs: []uint64{13}})
-		fmt.Printf("render(13) -> recovered error: %v\n", err)
-		fmt.Printf("app survived; KCS depth=%d, still in %q\n",
+		_, crashErr = ents[0].Call(t, &core.Args{Regs: []uint64{13}})
+		fmt.Fprintf(w, "render(13) -> recovered error: %v\n", crashErr)
+		fmt.Fprintf(w, "app survived; KCS depth=%d, still in %q\n",
 			core.KCSDepth(t), t.Process().Name)
 
 		// Direct (proxy-free) read of the plugin's pool, allowed by the
@@ -99,9 +108,10 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		readErr := arch.Check(t.HW, rt.PT, plugData, 8, codoms.AccessRead)
-		fmt.Printf("app reads plugin pool directly: err=%v\n", readErr)
+		readErr = arch.Check(t.HW, rt.PT, plugData, 8, codoms.AccessRead)
+		fmt.Fprintf(w, "app reads plugin pool directly: err=%v\n", readErr)
 	})
 	eng.Run()
-	fmt.Printf("done: %d plugin calls\n", calls)
+	fmt.Fprintf(w, "done: %d plugin calls\n", calls)
+	return calls, crashErr, readErr
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPluginIsolationAndCrashRecovery(t *testing.T) {
+	var out bytes.Buffer
+	calls, crashErr, readErr := demo(&out)
+	if calls != 2 {
+		t.Fatalf("plugin called %d times, want 2", calls)
+	}
+	if crashErr == nil {
+		t.Fatal("the crashing call should surface an error")
+	}
+	if !strings.Contains(crashErr.Error(), "bad pointer") {
+		t.Fatalf("crash error %q does not carry the fault", crashErr)
+	}
+	if readErr != nil {
+		t.Fatalf("asymmetric grant should allow the app's direct read, got %v", readErr)
+	}
+	got := out.String()
+	for _, want := range []string{"render(21) = 42", "recovered error", "app survived"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -12,6 +12,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -20,6 +22,13 @@ import (
 )
 
 func main() {
+	demo(os.Stdout)
+}
+
+// demo boots the machine, runs the add round trip and returns the
+// client's result plus the runtime's cross-domain call count (testable
+// from quickstart's smoke test).
+func demo(w io.Writer) (sum, crossCalls uint64) {
 	// Boot a 2-CPU simulated machine and a dIPC runtime on it.
 	eng := sim.NewEngine(42)
 	machine := kernel.NewMachine(eng, cost.Default(), 2)
@@ -52,7 +61,7 @@ func main() {
 		if err := rt.Publish(t, "/run/calc.sock", eh); err != nil {
 			panic(err)
 		}
-		fmt.Println("[calc] published /run/calc.sock")
+		fmt.Fprintln(w, "[calc] published /run/calc.sock")
 	})
 
 	// The client imports the entry and calls it.
@@ -76,13 +85,16 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		fmt.Printf("[client] add(40, 2) = %d (in %v, crossing two processes)\n",
+		sum = out.Regs[0]
+		fmt.Fprintf(w, "[client] add(40, 2) = %d (in %v, crossing two processes)\n",
 			out.Regs[0], eng.Now()-start)
-		fmt.Printf("[client] still running in process %q after the call\n",
+		fmt.Fprintf(w, "[client] still running in process %q after the call\n",
 			t.Process().Name)
 	})
 
 	eng.Run()
-	fmt.Printf("simulation finished at %v; %d cross-domain calls made\n",
-		eng.Now(), rt.CrossCalls())
+	crossCalls = rt.CrossCalls()
+	fmt.Fprintf(w, "simulation finished at %v; %d cross-domain calls made\n",
+		eng.Now(), crossCalls)
+	return sum, crossCalls
 }

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartAddRoundTrip(t *testing.T) {
+	var out bytes.Buffer
+	sum, crossCalls := demo(&out)
+	if sum != 42 {
+		t.Fatalf("add(40, 2) = %d, want 42", sum)
+	}
+	if crossCalls == 0 {
+		t.Fatal("the call should have crossed domains")
+	}
+	got := out.String()
+	for _, want := range []string{"published /run/calc.sock", "add(40, 2) = 42", "simulation finished"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

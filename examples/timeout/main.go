@@ -9,6 +9,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -17,6 +19,13 @@ import (
 )
 
 func main() {
+	demo(os.Stdout)
+}
+
+// demo runs one patient call (completes) and one impatient call (times
+// out and splits the thread), returning the patient call's result and
+// the impatient call's error (testable from the smoke test).
+func demo(w io.Writer) (patient uint64, timeoutErr error) {
 	eng := sim.NewEngine(3)
 	machine := kernel.NewMachine(eng, cost.Default(), 2)
 	rt := core.NewRuntime(machine)
@@ -62,15 +71,17 @@ func main() {
 		// Patient call: completes.
 		start := eng.Now()
 		out, err := ents[0].CallWithTimeout(t, &core.Args{Regs: []uint64{1}}, sim.Millis(50))
-		fmt.Printf("50ms deadline: result=%v err=%v after %v\n", out.Regs[0], err, eng.Now()-start)
+		patient = out.Regs[0]
+		fmt.Fprintf(w, "50ms deadline: result=%v err=%v after %v\n", out.Regs[0], err, eng.Now()-start)
 
 		// Impatient call: the thread splits and the caller resumes.
 		start = eng.Now()
-		_, err = ents[0].CallWithTimeout(t, &core.Args{Regs: []uint64{2}}, sim.Millis(1))
-		fmt.Printf("1ms deadline:  err=%v after %v\n", err, eng.Now()-start)
-		fmt.Printf("caller is alive in %q; the split-off callee half finishes on its own\n",
+		_, timeoutErr = ents[0].CallWithTimeout(t, &core.Args{Regs: []uint64{2}}, sim.Millis(1))
+		fmt.Fprintf(w, "1ms deadline:  err=%v after %v\n", timeoutErr, eng.Now()-start)
+		fmt.Fprintf(w, "caller is alive in %q; the split-off callee half finishes on its own\n",
 			t.Process().Name)
 	})
 	eng.Run()
-	fmt.Printf("all threads drained at %v\n", eng.Now())
+	fmt.Fprintf(w, "all threads drained at %v\n", eng.Now())
+	return patient, timeoutErr
 }

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTimeoutSplitting(t *testing.T) {
+	var out bytes.Buffer
+	patient, timeoutErr := demo(&out)
+	if patient != 99 {
+		t.Fatalf("patient call returned %d, want 99", patient)
+	}
+	if timeoutErr == nil {
+		t.Fatal("the 1ms-deadline call should time out")
+	}
+	got := out.String()
+	if !strings.Contains(got, "caller is alive") || !strings.Contains(got, "all threads drained") {
+		t.Fatalf("output incomplete:\n%s", got)
+	}
+}

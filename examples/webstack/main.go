@@ -9,30 +9,39 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/apps/oltp"
 	"repro/internal/sim"
 )
 
 func main() {
-	fmt.Println("Three-tier OLTP web stack: Apache-like web server, PHP-like")
-	fmt.Println("interpreter, MariaDB-like database; DVDStore-like workload.")
-	fmt.Println()
+	demo(os.Stdout, 16, sim.Millis(200))
+}
 
-	const threads = 16
+// demo runs the three configurations for both storage setups and
+// returns the in-memory results keyed by mode (testable from the smoke
+// test, which uses a small window).
+func demo(w io.Writer, threads int, window sim.Time) map[oltp.Mode]*oltp.Result {
+	fmt.Fprintln(w, "Three-tier OLTP web stack: Apache-like web server, PHP-like")
+	fmt.Fprintln(w, "interpreter, MariaDB-like database; DVDStore-like workload.")
+	fmt.Fprintln(w)
+
+	inMemResults := make(map[oltp.Mode]*oltp.Result)
 	for _, inMem := range []bool{false, true} {
 		storage := "on-disk DB"
 		if inMem {
 			storage = "in-memory DB"
 		}
-		fmt.Printf("--- %s, %d threads/component ---\n", storage, threads)
+		fmt.Fprintf(w, "--- %s, %d threads/component ---\n", storage, threads)
 		var linux, dipc, ideal *oltp.Result
 		for _, mode := range []oltp.Mode{oltp.ModeLinux, oltp.ModeDIPC, oltp.ModeIdeal} {
 			r := oltp.Run(oltp.Config{
 				Mode:     mode,
 				InMemory: inMem,
 				Threads:  threads,
-				Window:   sim.Millis(200),
+				Window:   window,
 				Seed:     11,
 			})
 			switch mode {
@@ -43,11 +52,15 @@ func main() {
 			case oltp.ModeIdeal:
 				ideal = r
 			}
-			fmt.Printf("%-14s %8.0f ops/min  latency %-9s  user %4.1f%%  kernel %4.1f%%  idle %4.1f%%\n",
+			if inMem {
+				inMemResults[mode] = r
+			}
+			fmt.Fprintf(w, "%-14s %8.0f ops/min  latency %-9s  user %4.1f%%  kernel %4.1f%%  idle %4.1f%%\n",
 				mode, r.Throughput, r.AvgLatency,
 				100*r.UserShare(), 100*r.KernelShare(), 100*r.IdleShare())
 		}
-		fmt.Printf("dIPC speedup over Linux: %.2fx; dIPC efficiency vs Ideal: %.1f%%\n\n",
+		fmt.Fprintf(w, "dIPC speedup over Linux: %.2fx; dIPC efficiency vs Ideal: %.1f%%\n\n",
 			dipc.Throughput/linux.Throughput, 100*dipc.Throughput/ideal.Throughput)
 	}
+	return inMemResults
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/oltp"
+	"repro/internal/sim"
+)
+
+func TestWebstackModeOrdering(t *testing.T) {
+	var out bytes.Buffer
+	res := demo(&out, 8, sim.Millis(40))
+	linux := res[oltp.ModeLinux]
+	dipc := res[oltp.ModeDIPC]
+	ideal := res[oltp.ModeIdeal]
+	if linux == nil || dipc == nil || ideal == nil {
+		t.Fatal("missing results")
+	}
+	if !(linux.Throughput > 0 && dipc.Throughput > linux.Throughput) {
+		t.Fatalf("dIPC (%.0f) should beat Linux (%.0f)", dipc.Throughput, linux.Throughput)
+	}
+	if ideal.Throughput < dipc.Throughput*0.9 {
+		t.Fatalf("ideal (%.0f) below dIPC (%.0f)", ideal.Throughput, dipc.Throughput)
+	}
+	if !strings.Contains(out.String(), "dIPC speedup over Linux") {
+		t.Fatalf("output incomplete:\n%s", out.String())
+	}
+}

@@ -1,6 +1,7 @@
 package oltp
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/cost"
@@ -8,17 +9,32 @@ import (
 	"repro/internal/sim"
 )
 
-// runCfg is a short-window Run for tests.
+// runCfg is a short-window Run for tests. Runs are deterministic, so
+// results are memoized: many tests assert different properties of the
+// same configurations and need not re-simulate them.
 func runCfg(mode Mode, inMem bool, threads int) *Result {
-	return Run(Config{
+	key := fmt.Sprintf("%d/%v/%d", mode, inMem, threads)
+	if r, ok := runCache[key]; ok {
+		return r
+	}
+	r := Run(Config{
 		Mode: mode, InMemory: inMem, Threads: threads,
 		Warmup: sim.Millis(40), Window: sim.Millis(120), Seed: 9,
 	})
+	runCache[key] = r
+	return r
 }
 
+var runCache = map[string]*Result{}
+
 func TestDIPCAndIdealBeatLinuxEverywhere(t *testing.T) {
-	for _, inMem := range []bool{true, false} {
-		for _, threads := range []int{4, 16} {
+	inMems, threadGrid := []bool{true, false}, []int{4, 16}
+	if testing.Short() {
+		// One memoized point keeps the invariant covered cheaply.
+		inMems, threadGrid = []bool{true}, []int{4}
+	}
+	for _, inMem := range inMems {
+		for _, threads := range threadGrid {
 			linux := runCfg(ModeLinux, inMem, threads)
 			dipc := runCfg(ModeDIPC, inMem, threads)
 			ideal := runCfg(ModeIdeal, inMem, threads)
@@ -90,6 +106,9 @@ func TestIdleTimeEliminatedByDIPC(t *testing.T) {
 }
 
 func TestOnDiskSlowerThanInMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four 16-thread windows are slow")
+	}
 	for _, mode := range []Mode{ModeLinux, ModeDIPC} {
 		mem := runCfg(mode, true, 16)
 		disk := runCfg(mode, false, 16)
@@ -101,6 +120,9 @@ func TestOnDiskSlowerThanInMemory(t *testing.T) {
 }
 
 func TestThroughputRisesWithThreadsOnDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the 64-thread on-disk window is slow")
+	}
 	// With the disk adding latency, more threads raise throughput
 	// until the CPUs saturate (the left side of Fig. 8's curves).
 	low := runCfg(ModeDIPC, false, 4)

@@ -46,6 +46,7 @@ type Config struct {
 	Mode     Mode
 	InMemory bool // tmpfs database vs on-disk
 	Threads  int  // threads per component (4..512 in the paper)
+	CPUs     int  // simulated CPU count (defaults to 4, the paper's machine)
 	Clients  int  // concurrent driver connections (defaults to Threads)
 	Warmup   sim.Time
 	Window   sim.Time
@@ -104,6 +105,9 @@ func Run(cfg Config) *Result {
 	if cfg.Threads <= 0 {
 		cfg.Threads = 16
 	}
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 4
+	}
 	if cfg.Clients <= 0 {
 		cfg.Clients = cfg.Threads
 	}
@@ -122,7 +126,7 @@ func Run(cfg Config) *Result {
 	if cfg.Cost == nil {
 		cfg.Cost = cost.Default()
 	}
-	m := kernel.NewMachine(eng, cfg.Cost, 4)
+	m := kernel.NewMachine(eng, cfg.Cost, cfg.CPUs)
 	m.StealOnIdle = !cfg.DisableSteal
 	db := NewDB(m, prm, cfg.InMemory)
 	stack := &Stack{Prm: prm, DB: db}

@@ -38,11 +38,18 @@ func RunTLSAblation() *TLSAblationResult {
 	base := cost.Default()
 	noTLS := *base
 	noTLS.TLSSwitch = 0
+	// Both Params values are fixed before the sweep starts and only read
+	// by the simulations, so the four points can share them.
+	pts := []struct {
+		p    *cost.Params
+		high bool
+	}{{base, false}, {&noTLS, false}, {base, true}, {&noTLS, true}}
+	means := sweep(len(pts), func(i int) sim.Time {
+		return MeasureDIPCParams(pts[i].p, true, pts[i].high, 1).Mean
+	})
 	return &TLSAblationResult{
-		LowBase:   MeasureDIPCParams(base, true, false, 1).Mean,
-		LowNoTLS:  MeasureDIPCParams(&noTLS, true, false, 1).Mean,
-		HighBase:  MeasureDIPCParams(base, true, true, 1).Mean,
-		HighNoTLS: MeasureDIPCParams(&noTLS, true, true, 1).Mean,
+		LowBase: means[0], LowNoTLS: means[1],
+		HighBase: means[2], HighNoTLS: means[3],
 	}
 }
 
@@ -82,14 +89,13 @@ func RunSharedPTAblation(threads int, window sim.Time) *SharedPTAblationResult {
 	// The on-disk configuration interleaves threads mid-call (commits
 	// block inside the database process), which is when private page
 	// tables hurt; the in-memory one barely context-switches.
-	shared := oltp.Run(oltp.Config{
-		Mode: oltp.ModeDIPC, InMemory: false, Threads: threads, Window: window, Seed: 5,
-	})
-	private := oltp.Run(oltp.Config{
-		Mode: oltp.ModeDIPC, InMemory: false, Threads: threads, Window: window, Seed: 5,
-		PrivatePT: true,
-	})
-	return &SharedPTAblationResult{SharedPT: shared, PrivatePT: private}
+	cfgs := []oltp.Config{
+		{Mode: oltp.ModeDIPC, InMemory: false, Threads: threads, Window: window, Seed: 5},
+		{Mode: oltp.ModeDIPC, InMemory: false, Threads: threads, Window: window, Seed: 5,
+			PrivatePT: true},
+	}
+	runs := sweep(len(cfgs), func(i int) *oltp.Result { return oltp.Run(cfgs[i]) })
+	return &SharedPTAblationResult{SharedPT: runs[0], PrivatePT: runs[1]}
 }
 
 // Render formats the ablation.
@@ -114,14 +120,13 @@ type StealAblationResult struct {
 // without idle stealing. Without it, wake-affinity clustering strands
 // runnable work behind busy CPUs while others idle.
 func RunStealAblation(threads int, window sim.Time) *StealAblationResult {
-	with := oltp.Run(oltp.Config{
-		Mode: oltp.ModeLinux, InMemory: true, Threads: threads, Window: window, Seed: 5,
-	})
-	noSteal := oltp.Run(oltp.Config{
-		Mode: oltp.ModeLinux, InMemory: true, Threads: threads, Window: window, Seed: 5,
-		DisableSteal: true,
-	})
-	return &StealAblationResult{WithSteal: with, NoSteal: noSteal}
+	cfgs := []oltp.Config{
+		{Mode: oltp.ModeLinux, InMemory: true, Threads: threads, Window: window, Seed: 5},
+		{Mode: oltp.ModeLinux, InMemory: true, Threads: threads, Window: window, Seed: 5,
+			DisableSteal: true},
+	}
+	runs := sweep(len(cfgs), func(i int) *oltp.Result { return oltp.Run(cfgs[i]) })
+	return &StealAblationResult{WithSteal: runs[0], NoSteal: runs[1]}
 }
 
 // Render formats the ablation.

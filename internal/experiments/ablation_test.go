@@ -30,6 +30,9 @@ func TestTLSAblation(t *testing.T) {
 }
 
 func TestSharedPTAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two on-disk OLTP windows are slow")
+	}
 	r := RunSharedPTAblation(8, sim.Millis(100))
 	// The shared table eliminates page-table switches entirely...
 	if got := r.SharedPT.Breakdown[stats.BlockPT]; got != 0 {
@@ -54,6 +57,9 @@ func TestSharedPTAblation(t *testing.T) {
 }
 
 func TestStealAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two OLTP windows are slow")
+	}
 	r := RunStealAblation(8, sim.Millis(100))
 	// Without idle stealing, wake-affinity clustering leaves CPUs idle
 	// while work queues elsewhere: idle share rises and throughput

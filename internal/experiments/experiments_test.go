@@ -198,6 +198,9 @@ func TestFig1Shape(t *testing.T) {
 }
 
 func TestFig8SmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the OLTP mode/thread sweep is slow; the harness tests cover a trimmed Fig. 8 under -short")
+	}
 	r := RunFig8(true, []int{4, 16}, sim.Millis(100))
 	for _, th := range []int{4, 16} {
 		lin := r.Throughput(oltp.ModeLinux, th)
@@ -227,6 +230,9 @@ func TestFig7SmallSweep(t *testing.T) {
 }
 
 func TestSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three OLTP windows are slow")
+	}
 	r := RunSensitivity(8, sim.Millis(100))
 	if r.CallsPerOp < 20 {
 		t.Fatalf("calls/op = %.1f", r.CallsPerOp)

@@ -19,16 +19,18 @@ type Fig2Result struct {
 	Bars []Measurement
 }
 
-// RunFig2 measures the classic primitives with a one-byte argument.
+// RunFig2 measures the classic primitives with a one-byte argument. The
+// bars are independent simulations, so they run on the sweep harness.
 func RunFig2() *Fig2Result {
-	return &Fig2Result{Bars: []Measurement{
-		MeasureSem(true, 1),
-		MeasureSem(false, 1),
-		MeasureL4(true),
-		MeasureL4(false),
-		MeasureRPC(true, 1),
-		MeasureRPC(false, 1),
-	}}
+	bars := []func() Measurement{
+		func() Measurement { return MeasureSem(true, 1) },
+		func() Measurement { return MeasureSem(false, 1) },
+		func() Measurement { return MeasureL4(true) },
+		func() Measurement { return MeasureL4(false) },
+		func() Measurement { return MeasureRPC(true, 1) },
+		func() Measurement { return MeasureRPC(false, 1) },
+	}
+	return &Fig2Result{Bars: sweep(len(bars), func(i int) Measurement { return bars[i]() })}
 }
 
 // Render formats the stacked-bar data as text.
@@ -55,26 +57,28 @@ type Fig5Result struct {
 	P    *cost.Params
 }
 
-// RunFig5 measures every configuration in the figure.
+// RunFig5 measures every configuration in the figure, fanning the
+// independent bars out over the sweep harness.
 func RunFig5() *Fig5Result {
+	bars := []func() Measurement{
+		MeasureFunc,
+		MeasureSyscall,
+		func() Measurement { return MeasureDIPC(false, false, 1) },
+		func() Measurement { return MeasureDIPC(false, true, 1) },
+		func() Measurement { return MeasureSem(true, 1) },
+		func() Measurement { return MeasureSem(false, 1) },
+		func() Measurement { return MeasurePipe(true, 1) },
+		func() Measurement { return MeasurePipe(false, 1) },
+		func() Measurement { return MeasureDIPC(true, false, 1) },
+		func() Measurement { return MeasureDIPC(true, true, 1) },
+		func() Measurement { return MeasureRPC(true, 1) },
+		func() Measurement { return MeasureRPC(false, 1) },
+		func() Measurement { return MeasureL4(true) },
+		func() Measurement { return MeasureUserRPC(1) },
+	}
 	return &Fig5Result{
-		P: cost.Default(),
-		Bars: []Measurement{
-			MeasureFunc(),
-			MeasureSyscall(),
-			MeasureDIPC(false, false, 1),
-			MeasureDIPC(false, true, 1),
-			MeasureSem(true, 1),
-			MeasureSem(false, 1),
-			MeasurePipe(true, 1),
-			MeasurePipe(false, 1),
-			MeasureDIPC(true, false, 1),
-			MeasureDIPC(true, true, 1),
-			MeasureRPC(true, 1),
-			MeasureRPC(false, 1),
-			MeasureL4(true),
-			MeasureUserRPC(1),
-		},
+		P:    cost.Default(),
+		Bars: sweep(len(bars), func(i int) Measurement { return bars[i]() }),
 	}
 }
 
@@ -159,11 +163,15 @@ func RunFig6(sizes []int) *Fig6Result {
 		{"dIPC - High (=CPU;+proc)", func(s int) Measurement { return MeasureDIPC(true, true, s) }},
 		{"dIPC - User RPC (!=CPU)", func(s int) Measurement { return MeasureUserRPC(s) }},
 	}
-	for _, k := range kinds {
+	// One sweep point per (primitive, size) pair; every point builds its
+	// own machine inside the Measure* call.
+	means := sweep(len(kinds)*len(sizes), func(i int) sim.Time {
+		return kinds[i/len(sizes)].f(sizes[i%len(sizes)]).Mean
+	})
+	for ki, k := range kinds {
 		s := stats.Series{Label: k.label}
-		for _, size := range sizes {
-			ms := k.f(size)
-			s.Add(float64(size), ms.Mean.Nanoseconds()-base.Nanoseconds())
+		for si, size := range sizes {
+			s.Add(float64(size), means[ki*len(sizes)+si].Nanoseconds()-base.Nanoseconds())
 		}
 		res.Series = append(res.Series, s)
 	}
@@ -253,16 +261,38 @@ func RunFig7(sizes []int) *Fig7Result {
 		BW:      make(map[netpipe.Variant]stats.Series),
 	}
 	const latRounds, bwMsgs = 60, 150
-	for _, v := range Fig7Variants {
+	// The bare baselines are variant-independent and deterministic, so
+	// they are simulated once per size instead of once per point.
+	type bareBase struct {
+		lat sim.Time
+		bw  float64
+	}
+	bases := sweep(len(sizes), func(i int) bareBase {
+		return bareBase{
+			lat: netpipe.Setup(netpipe.Bare, 1).RunLatency(sizes[i], latRounds),
+			bw:  netpipe.Setup(netpipe.Bare, 1).RunBandwidth(sizes[i], bwMsgs),
+		}
+	})
+	// One sweep point per (variant, size) pair, computing the same
+	// overhead formulas as the sequential loop.
+	type fig7Point struct{ lat, bw float64 }
+	pts := sweep(len(Fig7Variants)*len(sizes), func(i int) fig7Point {
+		v := Fig7Variants[i/len(sizes)]
+		si := i % len(sizes)
+		gotLat := netpipe.Setup(v, 1).RunLatency(sizes[si], latRounds)
+		gotBW := netpipe.Setup(v, 1).RunBandwidth(sizes[si], bwMsgs)
+		return fig7Point{
+			lat: (float64(gotLat) - float64(bases[si].lat)) / float64(bases[si].lat) * 100,
+			bw:  (1 - gotBW/bases[si].bw) * 100,
+		}
+	})
+	for vi, v := range Fig7Variants {
 		lat := stats.Series{Label: v.String()}
 		bw := stats.Series{Label: v.String()}
-		for _, size := range sizes {
-			bareLat := netpipe.Setup(netpipe.Bare, 1).RunLatency(size, latRounds)
-			gotLat := netpipe.Setup(v, 1).RunLatency(size, latRounds)
-			lat.Add(float64(size), (float64(gotLat)-float64(bareLat))/float64(bareLat)*100)
-			bareBW := netpipe.Setup(netpipe.Bare, 1).RunBandwidth(size, bwMsgs)
-			gotBW := netpipe.Setup(v, 1).RunBandwidth(size, bwMsgs)
-			bw.Add(float64(size), (1-gotBW/bareBW)*100)
+		for si, size := range sizes {
+			p := pts[vi*len(sizes)+si]
+			lat.Add(float64(size), p.lat)
+			bw.Add(float64(size), p.bw)
 		}
 		res.Latency[v] = lat
 		res.BW[v] = bw
@@ -356,16 +386,17 @@ func RunFig8(inMemory bool, threads []int, window sim.Time) *Fig8Result {
 	if len(threads) == 0 {
 		threads = Fig8Threads
 	}
-	res := &Fig8Result{InMemory: inMemory}
-	for _, mode := range []oltp.Mode{oltp.ModeLinux, oltp.ModeDIPC, oltp.ModeIdeal} {
-		for _, th := range threads {
-			r := oltp.Run(oltp.Config{
-				Mode: mode, InMemory: inMemory, Threads: th, Window: window, Seed: 5,
-			})
-			res.Cells = append(res.Cells, Fig8Cell{Mode: mode, Threads: th, Result: r})
-		}
-	}
-	return res
+	modes := []oltp.Mode{oltp.ModeLinux, oltp.ModeDIPC, oltp.ModeIdeal}
+	// One sweep point per (mode, threads) cell; each oltp.Run builds its
+	// own engine and machine.
+	cells := sweep(len(modes)*len(threads), func(i int) Fig8Cell {
+		mode, th := modes[i/len(threads)], threads[i%len(threads)]
+		r := oltp.Run(oltp.Config{
+			Mode: mode, InMemory: inMemory, Threads: th, Window: window, Seed: 5,
+		})
+		return Fig8Cell{Mode: mode, Threads: th, Result: r}
+	})
+	return &Fig8Result{InMemory: inMemory, Cells: cells}
 }
 
 // Throughput returns the cell's ops/min (0 if absent).

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// withParallelism runs f under a fixed worker count and restores the
+// default afterwards.
+func withParallelism(n int, f func()) {
+	SetParallelism(n)
+	defer SetParallelism(0)
+	f()
+}
+
+func TestParallelismSetter(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default Parallelism() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetParallelism(-5)
+	if got := Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative SetParallelism should restore the default, got %d", got)
+	}
+}
+
+func TestSweepOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 16} {
+		withParallelism(workers, func() {
+			const n = 57
+			got := sweep(n, func(i int) int { return i * i })
+			if len(got) != n {
+				t.Fatalf("workers=%d: len = %d, want %d", workers, len(got), n)
+			}
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestSweepZeroPoints(t *testing.T) {
+	if got := sweep(0, func(i int) int { t.Fatal("job ran"); return 0 }); len(got) != 0 {
+		t.Fatalf("empty sweep returned %v", got)
+	}
+}
+
+func TestSweepBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	withParallelism(workers, func() {
+		var cur, peak atomic.Int32
+		var mu sync.Mutex
+		sweep(64, func(i int) int {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > peak.Load() {
+				peak.Store(c)
+			}
+			mu.Unlock()
+			runtime.Gosched()
+			cur.Add(-1)
+			return i
+		})
+		if p := peak.Load(); p > workers {
+			t.Fatalf("observed %d concurrent jobs, pool bounded at %d", p, workers)
+		}
+	})
+}
+
+func TestSweepPanicPropagates(t *testing.T) {
+	withParallelism(4, func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("sweep swallowed the job panic")
+			}
+			if !strings.Contains(r.(string), "boom") {
+				t.Fatalf("panic value %q does not carry the cause", r)
+			}
+		}()
+		sweep(8, func(i int) int {
+			if i == 5 {
+				panic("boom")
+			}
+			return i
+		})
+	})
+}
+
+func TestSweepStopsHandingOutJobsAfterPanic(t *testing.T) {
+	withParallelism(2, func() {
+		var executed atomic.Int32
+		func() {
+			defer func() { _ = recover() }()
+			sweep(100, func(i int) int {
+				if i == 0 {
+					panic("early")
+				}
+				executed.Add(1)
+				time.Sleep(time.Millisecond) // give the recover a chance to land
+				return i
+			})
+		}()
+		if n := executed.Load(); n >= 50 {
+			t.Fatalf("%d jobs ran after the panic; hand-out should stop early", n)
+		}
+	})
+}
+
+// TestMicroSweepsDeterministicAcrossWorkerCounts is the harness's core
+// guarantee: the rendered output of a converted sweep is byte-identical
+// whatever the worker count (and therefore identical to the sequential
+// path, which is the workers=1 case).
+func TestMicroSweepsDeterministicAcrossWorkerCounts(t *testing.T) {
+	fig6Sizes := []int{1, 4096}
+	workerCounts := []int{2, 7}
+	if testing.Short() {
+		fig6Sizes = []int{1}
+		workerCounts = []int{4}
+	}
+	render := func() (fig6, tls, fig2 string) {
+		fig6 = RunFig6(fig6Sizes).Render()
+		tls = RunTLSAblation().Render()
+		fig2 = RunFig2().Render()
+		return
+	}
+	var seqFig6, seqTLS, seqFig2 string
+	withParallelism(1, func() { seqFig6, seqTLS, seqFig2 = render() })
+	for _, workers := range workerCounts {
+		withParallelism(workers, func() {
+			fig6, tls, fig2 := render()
+			if fig6 != seqFig6 {
+				t.Errorf("workers=%d: Fig6 diverged from sequential:\n%s\nvs\n%s", workers, fig6, seqFig6)
+			}
+			if tls != seqTLS {
+				t.Errorf("workers=%d: TLS ablation diverged:\n%s\nvs\n%s", workers, tls, seqTLS)
+			}
+			if fig2 != seqFig2 {
+				t.Errorf("workers=%d: Fig2 diverged:\n%s\nvs\n%s", workers, fig2, seqFig2)
+			}
+		})
+	}
+}
+
+// TestOLTPSweepDeterministicAcrossWorkerCounts checks the macro
+// benchmark path (Fig. 8 plus the scaling extension) the same way. The
+// OLTP runs dominate test wall-clock, so it is trimmed under -short.
+func TestOLTPSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	threads := []int{4, 16}
+	window := sim.Millis(60)
+	cpus := []int{1, 4}
+	if testing.Short() {
+		threads = []int{4}
+		window = sim.Millis(30)
+		cpus = []int{2}
+	}
+	var seq8, seqScal string
+	withParallelism(1, func() {
+		seq8 = RunFig8(true, threads, window).Render()
+		seqScal = RunFig8Scaling(cpus, 8, window).Render()
+	})
+	withParallelism(4, func() {
+		if got := RunFig8(true, threads, window).Render(); got != seq8 {
+			t.Errorf("Fig8 diverged from sequential:\n%s\nvs\n%s", got, seq8)
+		}
+		if got := RunFig8Scaling(cpus, 8, window).Render(); got != seqScal {
+			t.Errorf("Fig8Scaling diverged from sequential:\n%s\nvs\n%s", got, seqScal)
+		}
+	})
+}

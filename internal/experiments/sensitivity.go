@@ -33,9 +33,9 @@ func RunSensitivity(threads int, window sim.Time) *SensitivityResult {
 	linuxCfg.Mode = oltp.ModeLinux
 	dipcCfg.Mode = oltp.ModeDIPC
 	idealCfg.Mode = oltp.ModeIdeal
-	linux := oltp.Run(linuxCfg)
-	dipc := oltp.Run(dipcCfg)
-	ideal := oltp.Run(idealCfg)
+	cfgs := []oltp.Config{linuxCfg, dipcCfg, idealCfg}
+	runs := sweep(len(cfgs), func(i int) *oltp.Result { return oltp.Run(cfgs[i]) })
+	linux, dipc, ideal := runs[0], runs[1], runs[2]
 
 	res := &SensitivityResult{CallsPerOp: dipc.CallsPerOp}
 	// Per-operation times from throughput (4 CPUs).
