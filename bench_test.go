@@ -13,6 +13,7 @@
 package repro
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -142,7 +143,7 @@ func benchFig8(b *testing.B, inMem bool) {
 		lin := r.Throughput(oltp.ModeLinux, th)
 		dip := r.Throughput(oltp.ModeDIPC, th)
 		if lin > 0 {
-			b.ReportMetric(dip/lin, "x-dipc-speedup/T="+itoa(th))
+			b.ReportMetric(dip/lin, "x-dipc-speedup/T="+strconv.Itoa(th))
 		}
 	}
 }
@@ -160,7 +161,7 @@ func BenchmarkFig8Scaling(b *testing.B) {
 		lin := r.Throughput(oltp.ModeLinux, nc)
 		dip := r.Throughput(oltp.ModeDIPC, nc)
 		if lin > 0 {
-			b.ReportMetric(dip/lin, "x-dipc-speedup/C="+itoa(nc))
+			b.ReportMetric(dip/lin, "x-dipc-speedup/C="+strconv.Itoa(nc))
 		}
 	}
 	b.ReportMetric(r.ScalingFactor(oltp.ModeDIPC), "x-dipc-scaling")
@@ -220,19 +221,4 @@ func BenchmarkProxyCall(b *testing.B) {
 	}
 	b.ReportMetric(low, "simns/low")
 	b.ReportMetric(high, "simns/high")
-}
-
-// itoa avoids strconv for this one use.
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
 }

@@ -1,13 +1,19 @@
 // Command dipcbench regenerates the paper's tables and figures from the
 // simulation. Usage:
 //
-//	dipcbench [-window ms] [-full] [-parallel n] [experiment ...]
+//	dipcbench [-window ms] [-full] [-parallel n] [-benchjson path]
+//	          [-cpuprofile path] [-memprofile path] [experiment ...]
 //
 // where each experiment is one of: anchors, fig1, fig2, table1, fig5,
 // fig6, fig7, fig8, fig8scaling, sensitivity, ablations, all
 // (default: all). Independent sweep points run concurrently on a worker
 // pool (-parallel, alias -j; default: one worker per CPU); the output is
 // identical whatever the worker count.
+//
+// -benchjson times each selected experiment under a wall clock and writes
+// a BENCH_*.json-shaped baseline report to the given path, so the
+// simulator's own speed can be tracked across PRs. -cpuprofile and
+// -memprofile write pprof profiles of the run for hot-path work.
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -35,6 +43,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	full := fs.Bool("full", false, "run the full-resolution sweeps (slower)")
 	parallel := fs.Int("parallel", 0, "sweep worker count (0 = one per CPU, 1 = sequential)")
 	fs.IntVar(parallel, "j", 0, "alias for -parallel")
+	benchjson := fs.String("benchjson", "", "write a wall-clock benchmark report (BENCH_*.json shape) to this path")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this path")
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -44,6 +55,77 @@ func run(argv []string, stdout, stderr io.Writer) int {
 
 	experiments.SetParallelism(*parallel)
 	window := sim.Millis(*windowMs)
+
+	// Each experiment is a named step so selection, wall-clock timing and
+	// the report all share one table.
+	type step struct {
+		name string
+		run  func()
+	}
+	steps := []step{
+		{"anchors", func() {
+			f := experiments.MeasureFunc()
+			s := experiments.MeasureSyscall()
+			fmt.Fprintf(stdout, "== Scalar anchors (§2.2) ==\n")
+			fmt.Fprintf(stdout, "  function call: %s (paper: <2ns)\n", f.Mean)
+			fmt.Fprintf(stdout, "  empty syscall: %s (paper: ~34ns)\n\n", s.Mean)
+		}},
+		{"table1", func() {
+			fmt.Fprintln(stdout, experiments.RunTable1(4096).Render())
+		}},
+		{"fig2", func() {
+			fmt.Fprintln(stdout, experiments.RunFig2().Render())
+		}},
+		{"fig5", func() {
+			fmt.Fprintln(stdout, experiments.RunFig5().Render())
+		}},
+		{"fig6", func() {
+			max := 14
+			if *full {
+				max = 20
+			}
+			fmt.Fprintln(stdout, experiments.RunFig6(experiments.Fig6Sizes(max)).Render())
+		}},
+		{"fig7", func() {
+			var sizes []int
+			step := 4
+			if *full {
+				step = 1
+			}
+			for p := 0; p <= 12; p += step {
+				sizes = append(sizes, 1<<p)
+			}
+			fmt.Fprintln(stdout, experiments.RunFig7(sizes).Render())
+		}},
+		{"fig1", func() {
+			fmt.Fprintln(stdout, experiments.RunFig1(window).Render())
+		}},
+		{"fig8", func() {
+			threads := []int{4, 16, 64}
+			if *full {
+				threads = experiments.Fig8Threads
+			}
+			for _, inMem := range []bool{false, true} {
+				fmt.Fprintln(stdout, experiments.RunFig8(inMem, threads, window).Render())
+			}
+		}},
+		{"fig8scaling", func() {
+			cpus := []int{1, 2, 4}
+			if *full {
+				cpus = experiments.Fig8ScalingCPUs
+			}
+			fmt.Fprintln(stdout, experiments.RunFig8Scaling(cpus, 16, window).Render())
+		}},
+		{"sensitivity", func() {
+			fmt.Fprintln(stdout, experiments.RunSensitivity(16, window).Render())
+		}},
+		{"ablations", func() {
+			fmt.Fprintln(stdout, experiments.RunTLSAblation().Render())
+			fmt.Fprintln(stdout, experiments.RunSharedPTAblation(16, window).Render())
+			fmt.Fprintln(stdout, experiments.RunStealAblation(16, window).Render())
+		}},
+	}
+
 	args := fs.Args()
 	if len(args) == 0 {
 		args = []string{"all"}
@@ -52,82 +134,75 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	for _, a := range args {
 		want[strings.ToLower(a)] = true
 	}
-	known := []string{"anchors", "table1", "fig1", "fig2", "fig5", "fig6", "fig7",
-		"fig8", "fig8scaling", "sensitivity", "ablations", "all"}
 	for a := range want {
-		found := false
-		for _, k := range known {
-			if a == k {
+		found := a == "all"
+		for _, s := range steps {
+			if a == s.name {
 				found = true
 			}
 		}
 		if !found {
+			known := make([]string, 0, len(steps)+1)
+			for _, s := range steps {
+				known = append(known, s.name)
+			}
+			known = append(known, "all")
 			fmt.Fprintf(stderr, "unknown experiment %q (known: %s)\n", a, strings.Join(known, ", "))
 			return 2
 		}
 	}
-	sel := func(name string) bool { return want["all"] || want[name] }
 
-	if sel("anchors") {
-		f := experiments.MeasureFunc()
-		s := experiments.MeasureSyscall()
-		fmt.Fprintf(stdout, "== Scalar anchors (§2.2) ==\n")
-		fmt.Fprintf(stdout, "  function call: %s (paper: <2ns)\n", f.Mean)
-		fmt.Fprintf(stdout, "  empty syscall: %s (paper: ~34ns)\n\n", s.Mean)
-	}
-	if sel("table1") {
-		fmt.Fprintln(stdout, experiments.RunTable1(4096).Render())
-	}
-	if sel("fig2") {
-		fmt.Fprintln(stdout, experiments.RunFig2().Render())
-	}
-	if sel("fig5") {
-		fmt.Fprintln(stdout, experiments.RunFig5().Render())
-	}
-	if sel("fig6") {
-		max := 14
-		if *full {
-			max = 20
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 1
 		}
-		fmt.Fprintln(stdout, experiments.RunFig6(experiments.Fig6Sizes(max)).Render())
-	}
-	if sel("fig7") {
-		var sizes []int
-		step := 4
-		if *full {
-			step = 1
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 1
 		}
-		for p := 0; p <= 12; p += step {
-			sizes = append(sizes, 1<<p)
-		}
-		fmt.Fprintln(stdout, experiments.RunFig7(sizes).Render())
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
-	if sel("fig1") {
-		fmt.Fprintln(stdout, experiments.RunFig1(window).Render())
+
+	var report *experiments.BenchReport
+	if *benchjson != "" {
+		report = experiments.NewBenchReport()
 	}
-	if sel("fig8") {
-		threads := []int{4, 16, 64}
-		if *full {
-			threads = experiments.Fig8Threads
+	for _, s := range steps {
+		if !want["all"] && !want[s.name] {
+			continue
 		}
-		for _, inMem := range []bool{false, true} {
-			fmt.Fprintln(stdout, experiments.RunFig8(inMem, threads, window).Render())
+		if report != nil {
+			report.Time(s.name, 1, s.run)
+		} else {
+			s.run()
 		}
 	}
-	if sel("fig8scaling") {
-		cpus := []int{1, 2, 4}
-		if *full {
-			cpus = experiments.Fig8ScalingCPUs
+	if report != nil {
+		if err := report.WriteFile(*benchjson); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
 		}
-		fmt.Fprintln(stdout, experiments.RunFig8Scaling(cpus, 16, window).Render())
+		fmt.Fprintf(stderr, "wrote benchmark report: %s\n", *benchjson)
 	}
-	if sel("sensitivity") {
-		fmt.Fprintln(stdout, experiments.RunSensitivity(16, window).Render())
-	}
-	if sel("ablations") {
-		fmt.Fprintln(stdout, experiments.RunTLSAblation().Render())
-		fmt.Fprintln(stdout, experiments.RunSharedPTAblation(16, window).Render())
-		fmt.Fprintln(stdout, experiments.RunStealAblation(16, window).Render())
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC() // materialize the live-heap picture
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }

@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 func TestRunAnchorsAndTable1(t *testing.T) {
@@ -64,5 +69,55 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-nope"}, &out, &errb); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunBenchJSONWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-benchjson", path, "anchors", "table1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report experiments.BenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if report.Schema != experiments.BenchSchema {
+		t.Fatalf("schema = %q, want %q", report.Schema, experiments.BenchSchema)
+	}
+	if len(report.Results) != 2 || report.Results[0].Name != "anchors" || report.Results[1].Name != "table1" {
+		t.Fatalf("results = %+v, want timed anchors and table1 entries", report.Results)
+	}
+	for _, r := range report.Results {
+		if r.WallNs <= 0 || r.Runs != 1 {
+			t.Fatalf("implausible timing entry: %+v", r)
+		}
+	}
+	// The experiments themselves must still print normally.
+	if !strings.Contains(out.String(), "Scalar anchors") {
+		t.Fatalf("timed run lost experiment output:\n%s", out.String())
+	}
+}
+
+func TestRunProfileFlagsWriteProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-cpuprofile", cpu, "-memprofile", mem, "anchors"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }

@@ -1,0 +1,81 @@
+// Wall-clock benchmark reporting. The simulated quantities the
+// experiments produce are deterministic; how long the simulator takes to
+// produce them is the perf trajectory this repo tracks across PRs.
+// cmd/dipcbench -benchjson wraps each experiment it runs with a timer and
+// serializes the result in the repo's BENCH_*.json shape, so a baseline
+// written by one PR can be diffed against the next.
+
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// BenchSchema identifies the report layout; bump it if fields change
+// incompatibly.
+const BenchSchema = "dipc-bench/v1"
+
+// BenchReport is the top-level document emitted as BENCH_*.json.
+type BenchReport struct {
+	Schema      string       `json:"schema"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	CPUs        int          `json:"cpus"`
+	Parallelism int          `json:"parallelism"`
+	StartedAt   string       `json:"started_at"` // RFC 3339, wall clock
+	Results     []BenchEntry `json:"results"`
+}
+
+// BenchEntry is one timed experiment.
+type BenchEntry struct {
+	Name     string  `json:"name"`
+	Runs     int     `json:"runs"`
+	WallNs   int64   `json:"wall_ns"`    // total across Runs
+	NsPerRun float64 `json:"ns_per_run"` // WallNs / Runs
+}
+
+// NewBenchReport returns a report stamped with the current toolchain,
+// host shape and wall-clock start time.
+func NewBenchReport() *BenchReport {
+	return &BenchReport{
+		Schema:      BenchSchema,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Parallelism: Parallelism(),
+		StartedAt:   time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// Time runs fn `runs` times under a wall-clock timer and appends the
+// aggregate as one entry. runs < 1 is treated as 1.
+func (r *BenchReport) Time(name string, runs int, fn func()) {
+	if runs < 1 {
+		runs = 1
+	}
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	wall := time.Since(start).Nanoseconds()
+	r.Results = append(r.Results, BenchEntry{
+		Name:     name,
+		Runs:     runs,
+		WallNs:   wall,
+		NsPerRun: float64(wall) / float64(runs),
+	})
+}
+
+// WriteFile serializes the report as indented JSON at path.
+func (r *BenchReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	r := NewBenchReport()
+	if r.Schema != BenchSchema || r.GoVersion == "" || r.CPUs < 1 {
+		t.Fatalf("report header incomplete: %+v", r)
+	}
+	calls := 0
+	r.Time("fig2", 3, func() { calls++ })
+	r.Time("clamped", 0, func() { calls++ }) // runs < 1 clamps to 1
+	if calls != 4 {
+		t.Fatalf("Time ran fn %d times, want 4", calls)
+	}
+	if len(r.Results) != 2 || r.Results[0].Runs != 3 || r.Results[1].Runs != 1 {
+		t.Fatalf("results = %+v", r.Results)
+	}
+	if r.Results[0].WallNs < 0 || r.Results[0].NsPerRun < 0 {
+		t.Fatalf("negative timing: %+v", r.Results[0])
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("emitted report is not valid JSON: %v", err)
+	}
+	if back.Schema != BenchSchema || len(back.Results) != 2 || back.Results[0].Name != "fig2" {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}

@@ -1,12 +1,11 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // event is a single entry in the engine's time-ordered queue. An event
 // either resumes a parked Proc or runs a callback in the engine context.
+// Events are stored by value inside eventQueue's pooled slice; the engine
+// never allocates per event in steady state.
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among events at the same instant
@@ -16,27 +15,6 @@ type event struct {
 	fn   func() // if proc is nil, run this callback
 }
 
-// eventHeap is a binary min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
-
 // Engine is a deterministic discrete-event simulator. It owns the
 // simulated clock and the event queue, and hands control to exactly one
 // Proc at a time. All mutation of simulation state therefore happens
@@ -44,14 +22,13 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events eventQueue
 	rng    *Rand
 
 	yield    chan struct{} // running proc -> engine handoff
 	running  *Proc
-	live     int  // procs spawned and not yet finished
-	inLoop   bool // Run/Step is active
-	panicVal any  // re-thrown panic from a proc
+	live     int // procs spawned and not yet finished
+	panicVal any // re-thrown panic from a proc
 }
 
 // NewEngine returns an engine with the clock at zero and the given
@@ -69,18 +46,57 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *Rand { return e.rng }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of queued events, including stale entries
+// (abandoned timers and superseded wakeups) that will be dropped when
+// reached. PendingLive excludes those.
+func (e *Engine) Pending() int { return e.events.len() }
+
+// PendingLive returns the number of queued events that can still be
+// delivered: callbacks plus wakeups whose proc is on the event's
+// generation. An abandoned WaitTimeout deadline timer, for example,
+// counts toward Pending but not PendingLive.
+func (e *Engine) PendingLive() int { return e.events.live() }
 
 // Live returns the number of spawned Procs that have not yet finished.
 func (e *Engine) Live() int { return e.live }
 
+// push enqueues an event, classifying it immediately: a proc event whose
+// generation is already superseded or consumed (a Wake on a stale Waiter)
+// is counted stale at birth, everything else is charged to the proc's
+// queued count so the bookkeeping in bumpGen/procExited/Step can move the
+// whole batch to stale the moment it becomes undeliverable.
 func (e *Engine) push(at Time, p *Proc, gen uint64, data any, fn func()) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, proc: p, gen: gen, data: data, fn: fn})
+	if p != nil {
+		if !p.finished && gen == p.gen && gen > p.delivered {
+			p.queued++
+		} else {
+			e.events.stale++
+		}
+	}
+	e.events.push(event{at: at, seq: e.seq, proc: p, gen: gen, data: data, fn: fn})
+	e.events.maybeCompact()
+}
+
+// bumpGen moves p to its next wake generation. Every event queued for the
+// old generation becomes permanently undeliverable at this instant, so the
+// whole batch is reclassified as stale in O(1).
+func (e *Engine) bumpGen(p *Proc) {
+	e.events.stale += p.queued
+	p.queued = 0
+	p.gen++
+	e.events.maybeCompact()
+}
+
+// procExited records that p finished: any wakeups still queued for it are
+// now stale.
+func (e *Engine) procExited(p *Proc) {
+	e.events.stale += p.queued
+	p.queued = 0
+	e.live--
 }
 
 // At schedules fn to run in the engine context after delay d. The callback
@@ -97,16 +113,14 @@ func (e *Engine) Spawn(name string, d Time, fn func(p *Proc)) *Proc {
 	p := &Proc{
 		eng:    e,
 		name:   name,
-		resume: make(chan wakeMsg),
-		parked: true,
+		resume: make(chan any),
 	}
 	e.live++
 	go func() {
-		msg := <-p.resume // wait for first dispatch
-		_ = msg
+		<-p.resume // wait for first dispatch
 		defer func() {
 			p.finished = true
-			e.live--
+			e.procExited(p)
 			if r := recover(); r != nil && e.panicVal == nil {
 				e.panicVal = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
 			}
@@ -114,18 +128,19 @@ func (e *Engine) Spawn(name string, d Time, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	p.gen++
+	e.bumpGen(p)
 	e.push(e.now+d, p, p.gen, nil, nil)
 	return p
 }
 
 // dispatch hands control to p, delivering data as the park return value,
-// and blocks until p parks again or finishes.
+// and blocks until p parks again or finishes. The payload crosses the
+// channel as a bare any: the common nil-data wakeup (Sleep, plain
+// WakeOne) transfers a zero interface word with no wrapper struct.
 func (e *Engine) dispatch(p *Proc, data any) {
 	prev := e.running
 	e.running = p
-	p.parked = false
-	p.resume <- wakeMsg{data: data}
+	p.resume <- data
 	<-e.yield
 	e.running = prev
 	if e.panicVal != nil {
@@ -136,17 +151,26 @@ func (e *Engine) dispatch(p *Proc, data any) {
 }
 
 // Step processes the single next event. It reports false when the queue is
-// empty.
+// empty. Stale wakeups (a timer firing after its waiter was already woken
+// through another path) are dropped without advancing the clock, exactly
+// as the pre-pooling engine did: the delivered-watermark test below is
+// equivalent to its parked check, because a proc between Steps is parked
+// iff its current generation has not been delivered yet.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	for e.events.len() > 0 {
+		ev := e.events.pop()
 		if ev.proc != nil {
 			p := ev.proc
-			// Stale wakeups (a timer firing after its waiter was
-			// already woken through another path) are dropped.
-			if p.finished || !p.parked || p.gen != ev.gen {
+			if p.finished || ev.gen != p.gen || ev.gen <= p.delivered {
+				e.events.stale--
 				continue
 			}
+			// Delivering this wakeup consumes the generation: any other
+			// event still queued for it (say, the deadline timer of a
+			// WaitTimeout that was woken early) is stale as of now.
+			p.delivered = ev.gen
+			e.events.stale += p.queued - 1
+			p.queued = 0
 			e.now = ev.at
 			e.dispatch(p, ev.data)
 			return true
@@ -167,9 +191,19 @@ func (e *Engine) Run() {
 }
 
 // RunUntil processes events up to and including time t, then sets the
-// clock to t. Events scheduled after t remain queued.
+// clock to t. Events scheduled after t remain queued. Known-stale heads
+// are dropped before the boundary test, so an abandoned timer with a
+// deadline inside the window cannot bait Step into delivering a live
+// event scheduled after t (which would overshoot the clock past t).
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for e.events.len() > 0 {
+		for e.events.len() > 0 && staleEvent(e.events.head()) {
+			e.events.pop()
+			e.events.stale--
+		}
+		if e.events.len() == 0 || e.events.head().at > t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t {

@@ -1,0 +1,149 @@
+package sim
+
+// eventQueue is a hand-specialized 4-ary min-heap of event values ordered
+// by (at, seq). It replaces container/heap over []*event: events are
+// stored by value in one contiguous slice, so pushing reuses pooled slice
+// capacity instead of allocating a node per event, and comparisons never
+// box through heap.Interface/any. A 4-ary layout halves the tree depth of
+// a binary heap and keeps all children of a node in adjacent slots, which
+// the sift loops exploit for cache locality.
+//
+// The queue also tracks how many of its entries are stale — events that
+// can never be delivered because their target proc finished or moved to a
+// newer generation (e.g. the abandoned deadline timer left behind when a
+// WaitTimeout is woken early). Stale entries are dropped when popped, and
+// when they outnumber the live entries the whole heap is compacted in one
+// O(n) pass so abandoned timers cannot keep the heap deep for the rest of
+// the run.
+type eventQueue struct {
+	ev    []event
+	stale int // entries for which staleEvent() holds
+}
+
+// compactMin is the minimum heap size before compaction is considered;
+// below it the stale entries are cheaper to drop lazily at pop.
+const compactMin = 32
+
+// staleEvent reports whether ev is permanently undeliverable: its proc
+// finished, moved past the event's generation, or already consumed the
+// generation's wakeup (delivered watermark). All three are monotonic, so
+// once stale an event stays stale and compaction may discard it. Note an
+// event pushed by a running proc for its own upcoming park (Sleep) has
+// gen == proc.gen > delivered and is correctly considered live even
+// though the proc is not parked yet.
+func staleEvent(ev *event) bool {
+	p := ev.proc
+	return p != nil && (p.finished || ev.gen != p.gen || ev.gen <= p.delivered)
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+// live returns the number of entries that are not known-stale.
+func (q *eventQueue) live() int { return len(q.ev) - q.stale }
+
+// before is the strict (at, seq) ordering; seq is unique, so this is a
+// total order and the pop sequence is independent of heap shape.
+func before(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts ev. Amortized O(1) allocations: once the slice has grown to
+// the simulation's steady-state depth, append reuses the pooled capacity.
+func (q *eventQueue) push(ev event) {
+	q.ev = append(q.ev, ev)
+	q.siftUp(len(q.ev) - 1)
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the pooled backing array does not pin procs, payloads or
+// closures past their lifetime.
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev[n] = event{}
+	q.ev = q.ev[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
+	return top
+}
+
+// head returns the minimum event without removing it. Callers must have
+// checked len() > 0.
+func (q *eventQueue) head() *event { return &q.ev[0] }
+
+func (q *eventQueue) siftUp(i int) {
+	ev := q.ev[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !before(&ev, &q.ev[parent]) {
+			break
+		}
+		q.ev[i] = q.ev[parent]
+		i = parent
+	}
+	q.ev[i] = ev
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.ev)
+	ev := q.ev[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		best := first
+		for c := first + 1; c < last; c++ {
+			if before(&q.ev[c], &q.ev[best]) {
+				best = c
+			}
+		}
+		if !before(&q.ev[best], &ev) {
+			break
+		}
+		q.ev[i] = q.ev[best]
+		i = best
+	}
+	q.ev[i] = ev
+}
+
+// maybeCompact rebuilds the heap without its stale entries once they
+// outnumber the live ones. It is called on the paths that create stale
+// entries (generation bumps, proc exit, pushes of already-stale wakes), so
+// a WaitTimeout-heavy workload keeps the heap depth proportional to the
+// number of live events rather than the number of abandoned timers.
+// Compaction cannot change the pop sequence: (at, seq) is a total order,
+// so any valid heap over the same live set pops identically.
+func (q *eventQueue) compact() {
+	kept := q.ev[:0]
+	for i := range q.ev {
+		if !staleEvent(&q.ev[i]) {
+			kept = append(kept, q.ev[i])
+		}
+	}
+	for i := len(kept); i < len(q.ev); i++ {
+		q.ev[i] = event{}
+	}
+	q.ev = kept
+	q.stale = 0
+	if n := len(q.ev); n > 1 {
+		for i := (n - 2) / 4; i >= 0; i-- {
+			q.siftDown(i)
+		}
+	}
+}
+
+func (q *eventQueue) maybeCompact() {
+	if len(q.ev) >= compactMin && q.stale*2 > len(q.ev) {
+		q.compact()
+	}
+}

@@ -1,10 +1,5 @@
 package sim
 
-// wakeMsg is the value passed from the engine to a resuming Proc.
-type wakeMsg struct {
-	data any
-}
-
 // Proc is a simulated thread of execution. Its code runs on a dedicated
 // goroutine, but the engine guarantees mutual exclusion: a Proc only runs
 // between a dispatch and the next park. Simulated time advances only while
@@ -12,12 +7,13 @@ type wakeMsg struct {
 // caller charges for it explicitly, which is exactly what the kernel layer
 // does with its cost model.
 type Proc struct {
-	eng      *Engine
-	name     string
-	resume   chan wakeMsg
-	gen      uint64
-	parked   bool
-	finished bool
+	eng       *Engine
+	name      string
+	resume    chan any // park/dispatch handoff; carries the wake payload
+	gen       uint64
+	delivered uint64 // highest generation whose wakeup was dispatched
+	queued    int    // live events in the engine heap for the current gen
+	finished  bool
 
 	// Ctx is an arbitrary slot for higher layers; the kernel stores the
 	// owning thread here so that deep call chains can recover it without
@@ -37,10 +33,8 @@ func (p *Proc) Now() Time { return p.eng.now }
 // park suspends the proc until the engine delivers a wakeup for the
 // current generation, and returns the delivered data.
 func (p *Proc) park() any {
-	p.parked = true
 	p.eng.yield <- struct{}{}
-	msg := <-p.resume
-	return msg.data
+	return <-p.resume
 }
 
 // Sleep advances simulated time by d from this Proc's perspective.
@@ -48,7 +42,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.gen++
+	p.eng.bumpGen(p)
 	p.eng.push(p.eng.now+d, p, p.gen, nil, nil)
 	p.park()
 }
@@ -65,7 +59,7 @@ type Waiter struct {
 // PrepareWait arms the Proc for a Wait and returns the handle other code
 // can use to wake it. It must be followed by Wait on the same Proc.
 func (p *Proc) PrepareWait() Waiter {
-	p.gen++
+	p.eng.bumpGen(p)
 	return Waiter{p: p, gen: p.gen}
 }
 
@@ -84,7 +78,8 @@ func (w Waiter) Valid() bool {
 }
 
 // Wake schedules the waiter's Proc to resume after delay d, delivering
-// data from its Wait call. Firing a stale Waiter is harmless.
+// data from its Wait call. Firing a stale Waiter is harmless: the engine
+// classifies the event as stale at push time and never delivers it.
 func (w Waiter) Wake(d Time, data any) {
 	if w.p == nil {
 		return

@@ -1,0 +1,113 @@
+package sim
+
+import "testing"
+
+func TestRandIntnOne(t *testing.T) {
+	r := NewRand(99)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(1); v != 0 {
+			t.Fatalf("Intn(1) = %d, want 0", v)
+		}
+	}
+}
+
+func TestRandIntnNonPositivePanics(t *testing.T) {
+	for _, n := range []int{0, -1, -1 << 40} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			NewRand(1).Intn(n)
+		}()
+	}
+}
+
+func TestRandDurationDegenerateRanges(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 100; i++ {
+		if d := r.Duration(7*Nanosecond, 7*Nanosecond); d != 7*Nanosecond {
+			t.Fatalf("Duration(lo==hi) = %v, want 7ns", d)
+		}
+	}
+	// Inverted range collapses to lo, and must not draw from the stream.
+	before := *r
+	if d := r.Duration(10*Nanosecond, 3*Nanosecond); d != 10*Nanosecond {
+		t.Fatalf("Duration(hi<lo) = %v, want lo", d)
+	}
+	if *r != before {
+		t.Fatal("Duration(hi<lo) consumed randomness")
+	}
+}
+
+// invShr inverts x ^= x >> k, invShl inverts x ^= x << k: applying the
+// xor-shift repeatedly recovers one more low/high bit group per round.
+func invShr(x uint64, k uint) uint64 {
+	y := x
+	for i := 0; i < 64; i += int(k) {
+		y = x ^ (y >> k)
+	}
+	return y
+}
+
+func invShl(x uint64, k uint) uint64 {
+	y := x
+	for i := 0; i < 64; i += int(k) {
+		y = x ^ (y << k)
+	}
+	return y
+}
+
+// stateForOutput inverts Rand.Uint64 — the xorshift64* pipeline is a
+// bijection on non-zero states — yielding the state whose next draw is
+// exactly `out`.
+func stateForOutput(out uint64) uint64 {
+	const mult uint64 = 0x2545f4914f6cdd1d
+	// Multiplicative inverse of mult mod 2^64 by Newton iteration.
+	inv := mult
+	for i := 0; i < 6; i++ {
+		inv *= 2 - mult*inv
+	}
+	x := out * inv       // undo the final multiply
+	x = invShr(x, 27)    // undo x ^= x >> 27
+	x = invShl(x, 25)    // undo x ^= x << 25
+	return invShr(x, 12) // undo x ^= x >> 12
+}
+
+// TestRandExpClampPath engineers the state so the next Float64 draw is
+// exactly 0 (a raw output of 1 vanishes under Float64's >>11), forcing
+// Exp through its u < 1e-12 clamp branch; the clamped sample must come
+// back as a plain zero duration, not +Inf or negative.
+func TestRandExpClampPath(t *testing.T) {
+	r := &Rand{state: stateForOutput(1)}
+	// Self-check the inversion before relying on it.
+	probe := Rand{state: r.state}
+	if got := probe.Float64(); got != 0 {
+		t.Fatalf("engineered state draws Float64 = %v, want 0", got)
+	}
+	d := r.Exp(Microsecond)
+	if d != 0 {
+		t.Fatalf("Exp on clamp path = %v, want 0", d)
+	}
+}
+
+// TestLnClampBound covers ln's non-positive-input guard, which backs the
+// Exp clamp: it must return the documented ln(1e-12) bound, not NaN/-Inf.
+func TestLnClampBound(t *testing.T) {
+	const want = -27.6310211159285482
+	for _, x := range []float64{0, -1, -1e300} {
+		if got := ln(x); got != want {
+			t.Fatalf("ln(%v) = %v, want clamp bound %v", x, got, want)
+		}
+	}
+}
+
+func TestRandExpZeroMean(t *testing.T) {
+	r := NewRand(11)
+	for i := 0; i < 100; i++ {
+		if d := r.Exp(0); d != 0 {
+			t.Fatalf("Exp(0) = %v, want 0", d)
+		}
+	}
+}

@@ -4,14 +4,24 @@ package sim
 // futexes, pipe buffers, socket queues and scheduler wait lists. Wakeups
 // are scheduled through the event queue, so they take effect in simulated
 // time order like everything else.
+//
+// The queue is a power-of-two ring buffer of Waiter values: Wait pushes at
+// the tail, WakeOne pops from the head, and a timeout removal blanks its
+// slot in place instead of memmoving the suffix down (the pre-ring
+// implementation shifted the whole slice on every WakeOne and remove).
+// Blanked slots are skipped by the wake paths and trimmed from the ends
+// eagerly, so the ring does not grow with timeout churn.
 type WaitQueue struct {
-	waiters []Waiter
+	buf  []Waiter // len(buf) is 0 or a power of two
+	head int      // index of the oldest entry
+	n    int      // occupied window size, including dead slots
+	dead int      // blanked (removed) slots inside the window
 }
 
 // Len returns the number of parked waiters (stale entries are pruned on
 // the fly by the wake paths, so Len may briefly over-count after a
 // timeout; callers that care use WakeOne's return value instead).
-func (q *WaitQueue) Len() int { return len(q.waiters) }
+func (q *WaitQueue) Len() int { return q.n - q.dead }
 
 // timeoutMark distinguishes a timer wakeup from a genuine WakeOne.
 type timeoutMark struct{}
@@ -27,7 +37,7 @@ func TimedOut(v any) bool {
 // returns the data passed by the waker.
 func (q *WaitQueue) Wait(p *Proc) any {
 	w := p.PrepareWait()
-	q.waiters = append(q.waiters, w)
+	q.pushBack(w)
 	return p.Wait()
 }
 
@@ -35,7 +45,7 @@ func (q *WaitQueue) Wait(p *Proc) any {
 // wait timed out, in which case p has been removed from the queue.
 func (q *WaitQueue) WaitTimeout(p *Proc, d Time) (any, bool) {
 	w := p.PrepareWait()
-	q.waiters = append(q.waiters, w)
+	q.pushBack(w)
 	w.Wake(d, timeoutMark{})
 	v := p.Wait()
 	if TimedOut(v) {
@@ -45,21 +55,73 @@ func (q *WaitQueue) WaitTimeout(p *Proc, d Time) (any, bool) {
 	return v, true
 }
 
+func (q *WaitQueue) pushBack(w Waiter) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = w
+	q.n++
+}
+
+// grow doubles the ring (minimum 4 slots), unwrapping the window to the
+// start of the new buffer.
+func (q *WaitQueue) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap == 0 {
+		newCap = 4
+	}
+	nb := make([]Waiter, newCap)
+	mask := len(q.buf) - 1
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&mask]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// remove blanks w's slot so the wake paths skip it. O(n) scan, O(1)
+// mutation: no suffix shift, no reallocation.
 func (q *WaitQueue) remove(w Waiter) {
-	for i := range q.waiters {
-		if q.waiters[i] == w {
-			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+	mask := len(q.buf) - 1
+	for i := 0; i < q.n; i++ {
+		idx := (q.head + i) & mask
+		if q.buf[idx] == w {
+			q.buf[idx] = Waiter{}
+			q.dead++
+			q.trim()
 			return
 		}
+	}
+}
+
+// trim drops dead slots from both ends of the window so a timeout on the
+// oldest or newest waiter (the common cases) leaves no residue at all.
+func (q *WaitQueue) trim() {
+	mask := len(q.buf) - 1
+	for q.n > 0 && q.buf[q.head].p == nil {
+		q.head = (q.head + 1) & mask
+		q.n--
+		q.dead--
+	}
+	for q.n > 0 && q.buf[(q.head+q.n-1)&mask].p == nil {
+		q.n--
+		q.dead--
 	}
 }
 
 // WakeOne wakes the oldest still-valid waiter after delay d, delivering
 // data. It reports whether a waiter was woken.
 func (q *WaitQueue) WakeOne(d Time, data any) bool {
-	for len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
+	mask := len(q.buf) - 1
+	for q.n > 0 {
+		w := q.buf[q.head]
+		q.buf[q.head] = Waiter{}
+		q.head = (q.head + 1) & mask
+		q.n--
+		if w.p == nil {
+			q.dead--
+			continue
+		}
 		if w.Valid() {
 			w.Wake(d, data)
 			return true
@@ -71,13 +133,17 @@ func (q *WaitQueue) WakeOne(d Time, data any) bool {
 // WakeAll wakes every valid waiter after delay d and returns how many were
 // woken.
 func (q *WaitQueue) WakeAll(d Time, data any) int {
-	n := 0
-	for _, w := range q.waiters {
+	mask := len(q.buf) - 1
+	woken := 0
+	for i := 0; i < q.n; i++ {
+		idx := (q.head + i) & mask
+		w := q.buf[idx]
+		q.buf[idx] = Waiter{}
 		if w.Valid() {
 			w.Wake(d, data)
-			n++
+			woken++
 		}
 	}
-	q.waiters = q.waiters[:0]
-	return n
+	q.head, q.n, q.dead = 0, 0, 0
+	return woken
 }

@@ -1,0 +1,129 @@
+package sim
+
+import "testing"
+
+// TestWaitQueueRingWraparound cycles far more Wait/WakeOne pairs than the
+// ring's capacity while keeping a few waiters resident, so head repeatedly
+// wraps past the end of the buffer; FIFO order must survive every wrap.
+func TestWaitQueueRingWraparound(t *testing.T) {
+	e := NewEngine(1)
+	var q WaitQueue
+	var order []int
+	const workers = 3
+	const rounds = 50 // 150 wakeups through a ring that stays tiny
+	for i := 0; i < workers; i++ {
+		i := i
+		e.Spawn("w", Time(i), func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				q.Wait(p)
+				order = append(order, i)
+			}
+		})
+	}
+	e.Spawn("waker", 10, func(p *Proc) {
+		for r := 0; r < workers*rounds; r++ {
+			if !q.WakeOne(0, nil) {
+				t.Errorf("wake %d found no waiter", r)
+				return
+			}
+			p.Sleep(1)
+		}
+	})
+	e.Run()
+	if len(order) != workers*rounds {
+		t.Fatalf("got %d wakeups, want %d", len(order), workers*rounds)
+	}
+	for i, v := range order {
+		if v != i%workers {
+			t.Fatalf("FIFO broken at wake %d: got worker %d, want %d (order %v...)",
+				i, v, i%workers, order[:i+1])
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d after drain, want 0", q.Len())
+	}
+}
+
+// TestWaitQueueMixedTimeoutWakeAll stresses the ring under the full op
+// mix: plain Waits, WaitTimeouts that expire (remove blanks a mid-ring
+// slot), WaitTimeouts that are woken early (stale timer left in the
+// engine heap), and WakeAll sweeps that reset the ring.
+func TestWaitQueueMixedTimeoutWakeAll(t *testing.T) {
+	e := NewEngine(7)
+	var q WaitQueue
+	timeouts, wakes := 0, 0
+	const workers = 8
+	for i := 0; i < workers; i++ {
+		i := i
+		e.Spawn("w", Time(i), func(p *Proc) {
+			for r := 0; r < 30; r++ {
+				if i%2 == 0 {
+					// Short timeout: sometimes expires before the sweep.
+					if _, ok := q.WaitTimeout(p, Time(20+i)); ok {
+						wakes++
+					} else {
+						timeouts++
+					}
+				} else {
+					q.Wait(p)
+					wakes++
+				}
+			}
+		})
+	}
+	e.Spawn("sweeper", 15, func(p *Proc) {
+		for e.Live() > 1 {
+			q.WakeAll(0, nil)
+			p.Sleep(35)
+		}
+	})
+	e.Run()
+	if got := timeouts + wakes; got != workers*30 {
+		t.Fatalf("completed %d waits (%d timeouts, %d wakes), want %d",
+			got, timeouts, wakes, workers*30)
+	}
+	if timeouts == 0 {
+		t.Fatal("schedule never exercised the timeout/remove path")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d after all procs finished, want 0", q.Len())
+	}
+	if e.PendingLive() != 0 {
+		t.Fatalf("PendingLive() = %d after Run, want 0", e.PendingLive())
+	}
+}
+
+// TestWaitQueueRemoveMidRing checks a timeout removal that is neither the
+// oldest nor the newest waiter: the slot is blanked in place, the two
+// neighbours keep their FIFO positions, and Len reflects the removal.
+func TestWaitQueueRemoveMidRing(t *testing.T) {
+	e := NewEngine(3)
+	var q WaitQueue
+	var order []string
+	e.Spawn("a", 0, func(p *Proc) { q.Wait(p); order = append(order, "a") })
+	e.Spawn("b", 1, func(p *Proc) {
+		if _, ok := q.WaitTimeout(p, 10); ok {
+			t.Error("b should have timed out")
+		}
+		order = append(order, "b-timeout")
+	})
+	e.Spawn("c", 2, func(p *Proc) { q.Wait(p); order = append(order, "c") })
+	e.Spawn("observer", 12, func(p *Proc) { // after b's t=11 timeout
+		if q.Len() != 2 {
+			t.Errorf("Len() = %d after mid-ring timeout, want 2", q.Len())
+		}
+		q.WakeOne(0, nil)
+		p.Sleep(1)
+		q.WakeOne(0, nil)
+	})
+	e.Run()
+	want := []string{"b-timeout", "a", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
