@@ -1,19 +1,29 @@
-// Command dipcbench regenerates the paper's tables and figures from the
-// simulation. Usage:
+// Command dipcbench runs the registered scenarios — the paper's tables
+// and figures plus the extensions — through the first-class scenario
+// API. Usage:
 //
+//	dipcbench list
+//	dipcbench run <scenario> [-p key=value ...] [-json path]
 //	dipcbench [-window ms] [-full] [-parallel n] [-benchjson path]
 //	          [-cpuprofile path] [-memprofile path] [experiment ...]
 //
-// where each experiment is one of: anchors, fig1, fig2, table1, fig5,
-// fig6, fig7, fig8, fig8scaling, sensitivity, ablations, all
-// (default: all). Independent sweep points run concurrently on a worker
-// pool (-parallel, alias -j; default: one worker per CPU); the output is
-// identical whatever the worker count.
+// `list` prints every registered scenario with its typed parameters and
+// defaults. `run` executes one scenario with explicit parameter
+// overrides and can write the canonical dipc-scenario/v1 JSON document.
+// The third form is the legacy interface: each experiment name is a
+// scenario or group from the registry (fig1, fig2, table1, ...,
+// ablations, all; default: all), and the -window/-full flags forward to
+// every selected scenario that declares those parameters.
 //
-// -benchjson times each selected experiment under a wall clock and writes
-// a BENCH_*.json-shaped baseline report to the given path, so the
-// simulator's own speed can be tracked across PRs. -cpuprofile and
-// -memprofile write pprof profiles of the run for hot-path work.
+// Independent sweep points run concurrently on a worker pool (-parallel,
+// alias -j; default: one worker per CPU); the output is identical
+// whatever the worker count.
+//
+// -benchjson times each selected scenario under a wall clock and writes
+// a BENCH_*.json-shaped baseline report (schema dipc-bench/v2, with the
+// run context and per-scenario parameters recorded) to the given path,
+// so the simulator's own speed can be tracked across PRs. -cpuprofile
+// and -memprofile write pprof profiles of the run for hot-path work.
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -34,13 +45,34 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// paramFlags collects repeated -p key=value pairs.
+type paramFlags map[string]string
+
+func (p paramFlags) String() string { return "" }
+
+func (p paramFlags) Set(s string) error {
+	key, value, ok := strings.Cut(s, "=")
+	if !ok || key == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	p[key] = value
+	return nil
+}
+
+// job is one scenario selected for execution with its resolved
+// parameter overrides.
+type job struct {
+	scn       scenario.Scenario
+	overrides map[string]string
+}
+
 // run executes the command against the given argument list and streams;
 // main is a thin wrapper so tests can drive the whole command in-process.
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dipcbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	windowMs := fs.Float64("window", 250, "OLTP measurement window in milliseconds")
-	full := fs.Bool("full", false, "run the full-resolution sweeps (slower)")
+	windowMs := fs.Float64("window", 250, "OLTP measurement window in milliseconds (forwarded to scenarios with a `window` parameter)")
+	full := fs.Bool("full", false, "run the full-resolution sweeps (forwarded to scenarios with a `full` parameter)")
 	parallel := fs.Int("parallel", 0, "sweep worker count (0 = one per CPU, 1 = sequential)")
 	fs.IntVar(parallel, "j", 0, "alias for -parallel")
 	benchjson := fs.String("benchjson", "", "write a wall-clock benchmark report (BENCH_*.json shape) to this path")
@@ -54,102 +86,119 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	experiments.SetParallelism(*parallel)
-	window := sim.Millis(*windowMs)
+	windowSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "window" {
+			windowSet = true
+		}
+	})
 
-	// Each experiment is a named step so selection, wall-clock timing and
-	// the report all share one table.
-	type step struct {
-		name string
-		run  func()
-	}
-	steps := []step{
-		{"anchors", func() {
-			f := experiments.MeasureFunc()
-			s := experiments.MeasureSyscall()
-			fmt.Fprintf(stdout, "== Scalar anchors (§2.2) ==\n")
-			fmt.Fprintf(stdout, "  function call: %s (paper: <2ns)\n", f.Mean)
-			fmt.Fprintf(stdout, "  empty syscall: %s (paper: ~34ns)\n\n", s.Mean)
-		}},
-		{"table1", func() {
-			fmt.Fprintln(stdout, experiments.RunTable1(4096).Render())
-		}},
-		{"fig2", func() {
-			fmt.Fprintln(stdout, experiments.RunFig2().Render())
-		}},
-		{"fig5", func() {
-			fmt.Fprintln(stdout, experiments.RunFig5().Render())
-		}},
-		{"fig6", func() {
-			max := 14
-			if *full {
-				max = 20
-			}
-			fmt.Fprintln(stdout, experiments.RunFig6(experiments.Fig6Sizes(max)).Render())
-		}},
-		{"fig7", func() {
-			var sizes []int
-			step := 4
-			if *full {
-				step = 1
-			}
-			for p := 0; p <= 12; p += step {
-				sizes = append(sizes, 1<<p)
-			}
-			fmt.Fprintln(stdout, experiments.RunFig7(sizes).Render())
-		}},
-		{"fig1", func() {
-			fmt.Fprintln(stdout, experiments.RunFig1(window).Render())
-		}},
-		{"fig8", func() {
-			threads := []int{4, 16, 64}
-			if *full {
-				threads = experiments.Fig8Threads
-			}
-			for _, inMem := range []bool{false, true} {
-				fmt.Fprintln(stdout, experiments.RunFig8(inMem, threads, window).Render())
-			}
-		}},
-		{"fig8scaling", func() {
-			cpus := []int{1, 2, 4}
-			if *full {
-				cpus = experiments.Fig8ScalingCPUs
-			}
-			fmt.Fprintln(stdout, experiments.RunFig8Scaling(cpus, 16, window).Render())
-		}},
-		{"sensitivity", func() {
-			fmt.Fprintln(stdout, experiments.RunSensitivity(16, window).Render())
-		}},
-		{"ablations", func() {
-			fmt.Fprintln(stdout, experiments.RunTLSAblation().Render())
-			fmt.Fprintln(stdout, experiments.RunSharedPTAblation(16, window).Render())
-			fmt.Fprintln(stdout, experiments.RunStealAblation(16, window).Render())
-		}},
-	}
-
-	args := fs.Args()
-	if len(args) == 0 {
-		args = []string{"all"}
-	}
-	want := map[string]bool{}
-	for _, a := range args {
-		want[strings.ToLower(a)] = true
-	}
-	for a := range want {
-		found := a == "all"
-		for _, s := range steps {
-			if a == s.name {
-				found = true
+	// globalOverrides forwards the legacy -window/-full flags to any
+	// scenario declaring those parameter keys; everything else comes
+	// from the scenario's own declared defaults.
+	globalOverrides := func(s scenario.Scenario) map[string]string {
+		ov := map[string]string{}
+		for _, spec := range s.Params() {
+			switch spec.Key {
+			case "window":
+				if windowSet {
+					ov["window"] = scenario.FormatDuration(sim.Millis(*windowMs))
+				}
+			case "full":
+				if *full {
+					ov["full"] = "true"
+				}
 			}
 		}
-		if !found {
-			known := make([]string, 0, len(steps)+1)
-			for _, s := range steps {
-				known = append(known, s.name)
-			}
-			known = append(known, "all")
-			fmt.Fprintf(stderr, "unknown experiment %q (known: %s)\n", a, strings.Join(known, ", "))
+		return ov
+	}
+
+	reg := scenario.Default
+	args := fs.Args()
+
+	var jobs []job
+	jsonPath := ""
+	switch {
+	case len(args) > 0 && args[0] == "list":
+		return cmdList(reg, stdout)
+
+	case len(args) > 0 && args[0] == "run":
+		rest := args[1:]
+		if len(rest) == 0 {
+			fmt.Fprintf(stderr, "usage: dipcbench run <scenario> [-p key=value ...] [-json path]\n")
 			return 2
 		}
+		name := strings.ToLower(rest[0])
+		sub := flag.NewFlagSet("dipcbench run", flag.ContinueOnError)
+		sub.SetOutput(stderr)
+		pairs := paramFlags{}
+		sub.Var(pairs, "p", "scenario parameter override (`key=value`, repeatable)")
+		jsonFlag := sub.String("json", "", "write the canonical dipc-scenario/v1 JSON document to this path")
+		if err := sub.Parse(rest[1:]); err != nil {
+			if errors.Is(err, flag.ErrHelp) {
+				return 0
+			}
+			return 2
+		}
+		if sub.NArg() > 0 {
+			fmt.Fprintf(stderr, "unexpected argument %q; parameters use -p key=value\n", sub.Arg(0))
+			return 2
+		}
+		s, ok := reg.Lookup(name)
+		if !ok {
+			switch {
+			case name == "all":
+				fmt.Fprintf(stderr, "run takes a single scenario; use `dipcbench all` (or no arguments) to run everything\n")
+			case len(reg.GroupMembers(name)) > 0:
+				fmt.Fprintf(stderr, "run takes a single scenario; %q is a group (members: %s)\n",
+					name, strings.Join(reg.GroupMembers(name), ", "))
+			default:
+				fmt.Fprintf(stderr, "unknown scenario %q (known: %s)\n", name, strings.Join(reg.Names(), ", "))
+			}
+			return 2
+		}
+		ov := globalOverrides(s)
+		for k, v := range pairs {
+			ov[k] = v
+		}
+		jobs = []job{{scn: s, overrides: ov}}
+		jsonPath = *jsonFlag
+
+	default:
+		// Legacy interface: positional experiment names resolved through
+		// the registry, executed in registration order.
+		if len(args) == 0 {
+			args = []string{"all"}
+		}
+		want := map[string]bool{}
+		for _, a := range args {
+			list, ok := reg.Resolve(strings.ToLower(a))
+			if !ok {
+				fmt.Fprintf(stderr, "unknown experiment %q (known: %s)\n",
+					a, strings.Join(reg.Known(), ", "))
+				return 2
+			}
+			for _, s := range list {
+				want[s.Name()] = true
+			}
+		}
+		for _, s := range reg.All() {
+			if want[s.Name()] {
+				jobs = append(jobs, job{scn: s, overrides: globalOverrides(s)})
+			}
+		}
+	}
+
+	// Resolve every configuration up front so a bad parameter fails
+	// before any experiment runs.
+	cfgs := make([]*scenario.Config, len(jobs))
+	for i, j := range jobs {
+		cfg, err := scenario.NewConfig(j.scn, j.overrides)
+		if err != nil {
+			fmt.Fprintf(stderr, "%v\n", err)
+			return 2
+		}
+		cfgs[i] = cfg
 	}
 
 	if *cpuprofile != "" {
@@ -172,15 +221,34 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	var report *experiments.BenchReport
 	if *benchjson != "" {
 		report = experiments.NewBenchReport()
+		report.Full = *full
+		report.Window = scenario.FormatDuration(sim.Millis(*windowMs))
 	}
-	for _, s := range steps {
-		if !want["all"] && !want[s.name] {
-			continue
-		}
+	for i, j := range jobs {
+		var res *scenario.Result
+		var runErr error
+		do := func() { res, runErr = j.scn.Run(cfgs[i]) }
 		if report != nil {
-			report.Time(s.name, 1, s.run)
+			report.TimeWithParams(j.scn.Name(), 1, cfgs[i].ParamStrings(), do)
 		} else {
-			s.run()
+			do()
+		}
+		if runErr != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", j.scn.Name(), runErr)
+			return 1
+		}
+		fmt.Fprintln(stdout, res.RenderText())
+		if jsonPath != "" {
+			data, err := res.MarshalCanonical()
+			if err != nil {
+				fmt.Fprintf(stderr, "json: %v\n", err)
+				return 1
+			}
+			if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+				fmt.Fprintf(stderr, "json: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "wrote scenario result: %s\n", jsonPath)
 		}
 	}
 	if report != nil {
@@ -204,5 +272,25 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	return 0
+}
+
+// cmdList prints every registered scenario, its parameter schema and
+// the group aliases.
+func cmdList(reg *scenario.Registry, stdout io.Writer) int {
+	fmt.Fprintln(stdout, "Scenarios:")
+	for _, name := range reg.Names() {
+		s, _ := reg.Lookup(name)
+		fmt.Fprintf(stdout, "  %-18s %s\n", name, s.Describe())
+		for _, spec := range s.Params() {
+			fmt.Fprintf(stdout, "%20s-p %s=%s  (%s) %s\n", "", spec.Key, spec.Default, spec.Kind, spec.Doc)
+		}
+	}
+	fmt.Fprintln(stdout, "\nGroups:")
+	for _, g := range reg.Groups() {
+		fmt.Fprintf(stdout, "  %-18s %s (= %s)\n",
+			g, reg.GroupDescribe(g), strings.Join(reg.GroupMembers(g), ", "))
+	}
+	fmt.Fprintf(stdout, "  %-18s every scenario in registration order\n", "all")
 	return 0
 }

@@ -89,8 +89,16 @@ func TestRunBenchJSONWritesReport(t *testing.T) {
 	if report.Schema != experiments.BenchSchema {
 		t.Fatalf("schema = %q, want %q", report.Schema, experiments.BenchSchema)
 	}
+	// v2 records the run context: defaults here.
+	if report.Full || report.Window != "250ms" {
+		t.Fatalf("run context wrong: full=%v window=%q", report.Full, report.Window)
+	}
 	if len(report.Results) != 2 || report.Results[0].Name != "anchors" || report.Results[1].Name != "table1" {
 		t.Fatalf("results = %+v, want timed anchors and table1 entries", report.Results)
+	}
+	// ... and the resolved per-scenario parameter values.
+	if report.Results[1].Params["bulk"] != "4096" {
+		t.Fatalf("table1 params = %v, want bulk=4096", report.Results[1].Params)
 	}
 	for _, r := range report.Results {
 		if r.WallNs <= 0 || r.Runs != 1 {
@@ -100,6 +108,182 @@ func TestRunBenchJSONWritesReport(t *testing.T) {
 	// The experiments themselves must still print normally.
 	if !strings.Contains(out.String(), "Scalar anchors") {
 		t.Fatalf("timed run lost experiment output:\n%s", out.String())
+	}
+}
+
+func TestListScenarios(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"chain", "fig8", "ablations", "-p threads=4,16,64", "-p window=250ms", "all",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("list output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSubcommandEmitsCanonicalJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig2.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"run", "fig2", "-json", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	// Text output is the pinned legacy rendering.
+	if !strings.Contains(out.String(), "Figure 2") {
+		t.Fatalf("missing figure text:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema   string `json:"schema"`
+		Scenario string `json:"scenario"`
+		Series   []struct {
+			Label  string `json:"label"`
+			Points []struct {
+				Label string  `json:"label"`
+				Y     float64 `json:"y"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("emitted document is not valid JSON: %v\n%s", err, data)
+	}
+	if doc.Schema != "dipc-scenario/v1" || doc.Scenario != "fig2" {
+		t.Fatalf("document header = %+v", doc)
+	}
+	if len(doc.Series) == 0 || len(doc.Series[0].Points) == 0 {
+		t.Fatalf("document has no series/points:\n%s", data)
+	}
+	if doc.Series[0].Points[0].Y <= 0 {
+		t.Fatalf("empty measurement: %+v", doc.Series[0].Points[0])
+	}
+}
+
+func TestRunSubcommandChainThroughPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chain sweep is slow")
+	}
+	var out, errb bytes.Buffer
+	args := []string{"run", "chain", "-p", "depth=2,4", "-p", "threads=4", "-p", "window=20ms"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"== scenario chain ==", "depth=2,4", "dIPC", "Linux", "Ideal"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("chain output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSubcommandRejectsUnknownParam(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"run", "table1", "-p", "bogus=1"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	for _, want := range []string{"bogus", "bulk"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("error should mention %q: %s", want, errb.String())
+		}
+	}
+	if out.Len() != 0 {
+		t.Fatalf("bad parameter still produced output:\n%s", out.String())
+	}
+}
+
+func TestRunSubcommandRejectsStrayArguments(t *testing.T) {
+	// A forgotten -p must not silently run the scenario with defaults.
+	var out, errb bytes.Buffer
+	if code := run([]string{"run", "table1", "bulk=1024"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "bulk=1024") || !strings.Contains(errb.String(), "-p") {
+		t.Fatalf("stderr should point at the stray argument: %s", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stray argument still produced output:\n%s", out.String())
+	}
+}
+
+func TestBadParameterValueFailsBeforeAnyExperimentRuns(t *testing.T) {
+	// Range errors are caught at config resolution: the whole batch is
+	// rejected with exit 2 before the first scenario prints anything.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-window", "0", "table1", "fig1"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("experiments ran before the bad parameter was rejected:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "window") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+func TestRunSubcommandRejectsUnknownScenarioAndGroups(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"run", "fig99"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown scenario") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"run", "ablations"}, &out, &errb); code != 2 {
+		t.Fatalf("group accepted by run, exit %d", code)
+	}
+	if !strings.Contains(errb.String(), "group") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+func TestWindowFlagForwardsToScenarioParams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chain run is slow")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_fwd.json")
+	var out, errb bytes.Buffer
+	args := []string{"-window", "5", "-benchjson", path,
+		"run", "chain", "-p", "depth=1", "-p", "threads=2"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report experiments.BenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Window != "5ms" {
+		t.Fatalf("report window = %q, want 5ms", report.Window)
+	}
+	if len(report.Results) != 1 || report.Results[0].Params["window"] != "5ms" ||
+		report.Results[0].Params["depth"] != "1" {
+		t.Fatalf("entry params = %+v, want forwarded window=5ms depth=1", report.Results)
+	}
+}
+
+func TestLegacyAblationsAliasResolves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three OLTP ablation windows are slow")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-window", "20", "ablations"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"TLS segment switch", "shared page table", "idle stealing"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("ablations output missing %q", want)
+		}
 	}
 }
 

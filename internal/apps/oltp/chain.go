@@ -1,0 +1,248 @@
+package oltp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Microservice chain sweep: a request enters a gateway tier and is
+// forwarded through a chain of N service tiers, each adding its own
+// application work, over the same three transports as Fig. 8 — UNIX
+// sockets between per-tier worker pools (Linux), dIPC proxies executing
+// in place (dIPC), and plain function calls (Ideal). The paper's §7.5
+// argues dIPC's advantage compounds as call chains deepen; no figure
+// sweeps the depth axis, so this wiring (driven by the `chain` scenario)
+// extends the evaluation along it.
+
+// ChainConfig is one chain run.
+type ChainConfig struct {
+	Mode     Mode
+	Depth    int      // service tiers behind the gateway (>= 1)
+	Threads  int      // gateway workers; also workers per tier (Linux)
+	CPUs     int      // simulated CPU count (defaults to 4)
+	Clients  int      // concurrent closed-loop clients (defaults to Threads)
+	Work     sim.Time // per-tier application work per request
+	ReqBytes int      // request/response payload bytes per hop
+	Warmup   sim.Time
+	Window   sim.Time
+	Seed     uint64
+	// Cost overrides the machine cost model.
+	Cost *cost.Params
+}
+
+// ChainResult is the measured outcome of a chain run.
+type ChainResult struct {
+	Config     ChainConfig
+	Ops        int             // completed operations in the window
+	Throughput float64         // operations per minute
+	AvgLatency sim.Time        // mean client-observed latency
+	Breakdown  stats.Breakdown // machine time over the window
+	CallsPerOp float64         // cross-tier calls per operation
+}
+
+// UserShare, KernelShare, IdleShare report the Fig. 1-style breakdown
+// fractions of the measurement window.
+func (r *ChainResult) UserShare() float64 { return userShare(r.Breakdown) }
+
+// KernelShare is the privileged fraction (kernel, scheduling, proxies).
+func (r *ChainResult) KernelShare() float64 { return kernelShare(r.Breakdown) }
+
+// IdleShare is the idle/IO-wait fraction.
+func (r *ChainResult) IdleShare() float64 { return idleShare(r.Breakdown) }
+
+// chainPath names tier i's published dIPC entry.
+func chainPath(i int) string { return fmt.Sprintf("/run/chain-svc%d.sock", i) }
+
+// RunChain executes one chain configuration and returns its
+// measurements.
+func RunChain(cfg ChainConfig) *ChainResult {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 1
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 8
+	}
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 4
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = cfg.Threads
+	}
+	if cfg.Work == 0 {
+		cfg.Work = sim.Micros(20)
+	}
+	if cfg.ReqBytes <= 0 {
+		cfg.ReqBytes = 256
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = sim.Millis(20)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = sim.Millis(100)
+	}
+	if cfg.Cost == nil {
+		cfg.Cost = cost.Default()
+	}
+
+	eng := sim.NewEngine(cfg.Seed + 1)
+	m := kernel.NewMachine(eng, cfg.Cost, cfg.CPUs)
+	prm := DefaultParams()
+	ingress := NewIngress(prm)
+
+	// transports[i] carries tier i -> tier i+1 calls, where tier 0 is the
+	// gateway. The handler closures read the slice at call time, so the
+	// per-mode wiring below may fill it in any order.
+	transports := make([]Transport, cfg.Depth)
+	handler := func(i int) Handler {
+		return func(t *kernel.Thread, op string, payload any) (any, int) {
+			t.ExecUser(cfg.Work)
+			if i < cfg.Depth {
+				transports[i].Call(t, "hop", payload, cfg.ReqBytes)
+			}
+			return payload, cfg.ReqBytes
+		}
+	}
+
+	var front *kernel.Process
+	var rt *core.Runtime
+	switch cfg.Mode {
+	case ModeIdeal:
+		// All tiers co-located in one (unsafe) process.
+		front = m.NewProcess("chain-app")
+		for i := 1; i <= cfg.Depth; i++ {
+			transports[i-1] = &DirectTransport{H: handler(i)}
+		}
+
+	case ModeLinux:
+		// One process and one socket worker pool per tier.
+		front = m.NewProcess("gateway")
+		front.WorkingSet = 48 << 10
+		for i := 1; i <= cfg.Depth; i++ {
+			proc := m.NewProcess(fmt.Sprintf("svc%d", i))
+			proc.WorkingSet = 96 << 10
+			st := NewSockTransport(prm, handler(i))
+			transports[i-1] = st
+			for w := 0; w < cfg.Threads; w++ {
+				m.Spawn(proc, fmt.Sprintf("svc%d-%d", i, w), nil, st.Worker)
+			}
+		}
+
+	case ModeDIPC:
+		// dIPC processes bridged by proxies: the gateway thread executes
+		// the whole chain in place, so the service tiers need no worker
+		// pools. Tiers distrust their callers (microservice style), so
+		// every entry requests callee-side protection; importers trust
+		// their callees and request none.
+		rt = core.NewRuntime(m)
+		rt.FoldStubs = true
+		front = rt.NewProcess("gateway")
+		svc := make([]*kernel.Process, cfg.Depth+1)
+		for i := 1; i <= cfg.Depth; i++ {
+			svc[i] = rt.NewProcess(fmt.Sprintf("svc%d", i))
+		}
+		calleePolicy := core.RegConfidentiality | core.StackConfIntegrity | core.DCSConfIntegrity
+		sig := core.Signature{InRegs: 2, OutRegs: 1}
+		// Wire back to front: tier i imports tier i+1's entry before
+		// publishing its own, so every Resolve finds its target.
+		for i := cfg.Depth; i >= 1; i-- {
+			i := i
+			m.Spawn(svc[i], fmt.Sprintf("svc%d-init", i), nil, func(t *kernel.Thread) {
+				mustEnter(rt, t)
+				if i < cfg.Depth {
+					ents, err := rt.MustImport(t, chainPath(i+1), []core.EntryDesc{
+						{Name: "hop", Sig: sig},
+					})
+					if err != nil {
+						panic(err)
+					}
+					transports[i] = NewDIPCTransport(map[string]*core.ImportedEntry{"hop": ents[0]})
+				}
+				eh, err := rt.EntryRegister(t, rt.DomDefault(t), []core.EntryDesc{
+					{Name: "hop", Fn: handlerEntry(handler(i), "hop"), Sig: sig, Policy: calleePolicy},
+				})
+				if err != nil {
+					panic(err)
+				}
+				if err := rt.Publish(t, chainPath(i), eh); err != nil {
+					panic(err)
+				}
+			})
+			eng.Run()
+		}
+		m.Spawn(front, "gateway-init", nil, func(t *kernel.Thread) {
+			mustEnter(rt, t)
+			ents, err := rt.MustImport(t, chainPath(1), []core.EntryDesc{{Name: "hop", Sig: sig}})
+			if err != nil {
+				panic(err)
+			}
+			transports[0] = NewDIPCTransport(map[string]*core.ImportedEntry{"hop": ents[0]})
+		})
+		eng.Run()
+
+	default:
+		panic("oltp: unknown chain mode")
+	}
+
+	// Gateway worker pool: accepts from the ingress and drives the chain.
+	for w := 0; w < cfg.Threads; w++ {
+		m.Spawn(front, fmt.Sprintf("gw-%d", w), nil, func(t *kernel.Thread) {
+			if rt != nil {
+				mustEnter(rt, t)
+			}
+			for {
+				req := ingress.Recv(t)
+				t.ExecUser(cfg.Work)
+				transports[0].Call(t, "hop", nil, cfg.ReqBytes)
+				ingress.Reply(t, req)
+			}
+		})
+	}
+
+	// Closed-loop clients living off-machine, as in Run.
+	measStart := cfg.Warmup
+	measEnd := cfg.Warmup + cfg.Window
+	var ops, opsTotal int
+	var latSum sim.Time
+	for c := 0; c < cfg.Clients; c++ {
+		eng.Spawn(fmt.Sprintf("chain-client-%d", c), 0, func(p *sim.Proc) {
+			for {
+				req := &request{started: p.Now()}
+				req.done = p.PrepareWait()
+				ingress.Submit(req)
+				p.Wait()
+				opsTotal++
+				if end := p.Now(); end >= measStart && end <= measEnd {
+					ops++
+					latSum += end - req.started
+				}
+			}
+		})
+	}
+
+	var base stats.Breakdown
+	eng.At(measStart, func() { base = m.Snapshot() })
+	eng.RunUntil(measEnd)
+
+	res := &ChainResult{
+		Config:    cfg,
+		Ops:       ops,
+		Breakdown: m.Snapshot().Sub(base),
+	}
+	if ops > 0 {
+		res.Throughput = float64(ops) / cfg.Window.Seconds() * 60
+		res.AvgLatency = latSum / sim.Time(ops)
+	}
+	var calls uint64
+	for _, tr := range transports {
+		calls += tr.Calls()
+	}
+	if opsTotal > 0 {
+		res.CallsPerOp = float64(calls) / float64(opsTotal)
+	}
+	return res
+}

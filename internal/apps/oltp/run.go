@@ -76,28 +76,39 @@ type Result struct {
 
 // UserShare, KernelShare, IdleShare report the Fig. 1 breakdown
 // fractions of the measurement window.
-func (r *Result) UserShare() float64 {
-	return r.share(stats.BlockUser) + r.share(stats.BlockStub)
-}
+func (r *Result) UserShare() float64 { return userShare(r.Breakdown) }
 
 // KernelShare is everything privileged: kernel code, syscall paths,
 // scheduling, page-table work, and dIPC's proxies/TLS (which run
 // privileged but outside the kernel).
-func (r *Result) KernelShare() float64 {
-	return r.share(stats.BlockSyscall) + r.share(stats.BlockDispatch) +
-		r.share(stats.BlockKernel) + r.share(stats.BlockSched) +
-		r.share(stats.BlockPT) + r.share(stats.BlockProxy) + r.share(stats.BlockTLS)
-}
+func (r *Result) KernelShare() float64 { return kernelShare(r.Breakdown) }
 
 // IdleShare is the idle/IO-wait fraction.
-func (r *Result) IdleShare() float64 { return r.share(stats.BlockIdle) }
+func (r *Result) IdleShare() float64 { return idleShare(r.Breakdown) }
 
-func (r *Result) share(b stats.Block) float64 {
-	total := r.Breakdown.Total()
+// The share helpers group breakdown blocks into the Fig. 1 categories;
+// they are shared by the OLTP Result and the chain sweep's ChainResult.
+func userShare(bd stats.Breakdown) float64 {
+	return blockShare(bd, stats.BlockUser, stats.BlockStub)
+}
+
+func kernelShare(bd stats.Breakdown) float64 {
+	return blockShare(bd, stats.BlockSyscall, stats.BlockDispatch, stats.BlockKernel,
+		stats.BlockSched, stats.BlockPT, stats.BlockProxy, stats.BlockTLS)
+}
+
+func idleShare(bd stats.Breakdown) float64 { return blockShare(bd, stats.BlockIdle) }
+
+func blockShare(bd stats.Breakdown, blocks ...stats.Block) float64 {
+	total := bd.Total()
 	if total == 0 {
 		return 0
 	}
-	return float64(r.Breakdown[b]) / float64(total)
+	var sum sim.Time
+	for _, b := range blocks {
+		sum += bd[b]
+	}
+	return float64(sum) / float64(total)
 }
 
 // Run executes one OLTP configuration and returns its measurements.

@@ -15,8 +15,12 @@ import (
 )
 
 // BenchSchema identifies the report layout; bump it if fields change
-// incompatibly.
-const BenchSchema = "dipc-bench/v1"
+// incompatibly. v2 records the run context — worker parallelism was
+// already in v1; v2 adds the -full/-window settings and the resolved
+// per-scenario parameter values — so BENCH_*.json baselines are
+// comparable across PRs: two reports measure the same thing only if
+// their contexts match.
+const BenchSchema = "dipc-bench/v2"
 
 // BenchReport is the top-level document emitted as BENCH_*.json.
 type BenchReport struct {
@@ -26,16 +30,19 @@ type BenchReport struct {
 	GOARCH      string       `json:"goarch"`
 	CPUs        int          `json:"cpus"`
 	Parallelism int          `json:"parallelism"`
+	Full        bool         `json:"full"`       // the -full flag of the run
+	Window      string       `json:"window"`     // the -window flag, canonical duration
 	StartedAt   string       `json:"started_at"` // RFC 3339, wall clock
 	Results     []BenchEntry `json:"results"`
 }
 
 // BenchEntry is one timed experiment.
 type BenchEntry struct {
-	Name     string  `json:"name"`
-	Runs     int     `json:"runs"`
-	WallNs   int64   `json:"wall_ns"`    // total across Runs
-	NsPerRun float64 `json:"ns_per_run"` // WallNs / Runs
+	Name     string            `json:"name"`
+	Params   map[string]string `json:"params,omitempty"` // resolved scenario parameters
+	Runs     int               `json:"runs"`
+	WallNs   int64             `json:"wall_ns"`    // total across Runs
+	NsPerRun float64           `json:"ns_per_run"` // WallNs / Runs
 }
 
 // NewBenchReport returns a report stamped with the current toolchain,
@@ -55,6 +62,13 @@ func NewBenchReport() *BenchReport {
 // Time runs fn `runs` times under a wall-clock timer and appends the
 // aggregate as one entry. runs < 1 is treated as 1.
 func (r *BenchReport) Time(name string, runs int, fn func()) {
+	r.TimeWithParams(name, runs, nil, fn)
+}
+
+// TimeWithParams is Time with the scenario's resolved parameter values
+// recorded on the entry, so a baseline diff can tell a slower simulator
+// from a bigger workload.
+func (r *BenchReport) TimeWithParams(name string, runs int, params map[string]string, fn func()) {
 	if runs < 1 {
 		runs = 1
 	}
@@ -65,6 +79,7 @@ func (r *BenchReport) Time(name string, runs int, fn func()) {
 	wall := time.Since(start).Nanoseconds()
 	r.Results = append(r.Results, BenchEntry{
 		Name:     name,
+		Params:   params,
 		Runs:     runs,
 		WallNs:   wall,
 		NsPerRun: float64(wall) / float64(runs),

@@ -1,0 +1,282 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// stub builds a minimal scenario for registry tests.
+func stub(name string, params ...ParamSpec) Scenario {
+	return New(name, "a test scenario", params, func(cfg *Config) (*Result, error) {
+		return &Result{Scenario: name, Params: cfg.ParamStrings()}, nil
+	})
+}
+
+func TestKindRoundTrips(t *testing.T) {
+	cases := []struct {
+		kind      Kind
+		canonical string
+	}{
+		{Int, "4096"},
+		{Int, "-3"},
+		{Float, "0.5"},
+		{Float, "14"},
+		{Bool, "true"},
+		{Bool, "false"},
+		{Duration, "250ms"},
+		{Duration, "20us"},
+		{Duration, "1ns"},
+		{Duration, "0s"},
+		{Duration, "1500us"}, // largest exact unit below 2ms
+		{IntList, "1,64,4096"},
+		{IntList, "7"},
+	}
+	for _, c := range cases {
+		v, err := c.kind.Parse(c.canonical)
+		if err != nil {
+			t.Errorf("%v.Parse(%q): %v", c.kind, c.canonical, err)
+			continue
+		}
+		if got := c.kind.Format(v); got != c.canonical {
+			t.Errorf("%v: %q round-trips to %q", c.kind, c.canonical, got)
+		}
+	}
+}
+
+func TestDurationParsing(t *testing.T) {
+	for in, want := range map[string]sim.Time{
+		"250ms": sim.Millis(250),
+		"1.5us": sim.Micros(1.5),
+		"34ns":  sim.Nanos(34),
+		"2s":    2 * sim.Second,
+		"10ps":  10 * sim.Picosecond,
+	} {
+		got, err := ParseDuration(in)
+		if err != nil {
+			t.Errorf("ParseDuration(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("ParseDuration(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "250", "ms", "-4ms", "1h", "x1ns", "nans", "infs", "1e30s"} {
+		if _, err := ParseDuration(bad); err == nil {
+			t.Errorf("ParseDuration(%q) should fail", bad)
+		}
+	}
+	// FormatDuration picks the largest exact unit.
+	for in, want := range map[sim.Time]string{
+		sim.Millis(250):       "250ms",
+		sim.Micros(1.5):       "1500ns",
+		sim.Second:            "1s",
+		0:                     "0s",
+		3 * sim.Picosecond:    "3ps",
+		1000 * sim.Nanosecond: "1us",
+	} {
+		if got := FormatDuration(in); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestConfigDefaultsAndOverrides(t *testing.T) {
+	s := stub("cfg-test",
+		Param("threads", Int, "16", "workers"),
+		Param("window", Duration, "250ms", "window"),
+		Param("sizes", IntList, "1,64", "axis"),
+		Param("full", Bool, "false", "full sweep"),
+	)
+	cfg, err := NewConfig(s, map[string]string{"threads": "4", "window": "20ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Int("threads") != 4 || cfg.Duration("window") != sim.Millis(20) {
+		t.Fatalf("overrides not applied: %+v", cfg.values)
+	}
+	if got := cfg.Ints("sizes"); len(got) != 2 || got[1] != 64 {
+		t.Fatalf("default int list = %v", got)
+	}
+	if cfg.Bool("full") {
+		t.Fatal("default bool should be false")
+	}
+	if !cfg.Explicit("threads") || cfg.Explicit("sizes") {
+		t.Fatal("Explicit tracking wrong")
+	}
+	ps := cfg.ParamStrings()
+	if ps["threads"] != "4" || ps["window"] != "20ms" || ps["sizes"] != "1,64" || ps["full"] != "false" {
+		t.Fatalf("ParamStrings = %v", ps)
+	}
+}
+
+func TestConfigRejectsUnknownKeyNamingValidOnes(t *testing.T) {
+	s := stub("cfg-unknown", Param("depth", IntList, "1,2", "tiers"), Param("threads", Int, "8", "workers"))
+	_, err := NewConfig(s, map[string]string{"bogus": "1"})
+	if err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	for _, want := range []string{"bogus", "depth", "threads"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	// A scenario without parameters says so.
+	_, err = NewConfig(stub("cfg-none"), map[string]string{"x": "1"})
+	if err == nil || !strings.Contains(err.Error(), "no parameters") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConfigRunsCheckerAtResolutionTime(t *testing.T) {
+	s := NewChecked("cfg-checked", "a test scenario",
+		[]ParamSpec{Param("threads", Int, "8", "workers")},
+		func(cfg *Config) error {
+			if cfg.Int("threads") < 1 {
+				return fmt.Errorf("threads must be >= 1, got %d", cfg.Int("threads"))
+			}
+			return nil
+		},
+		func(cfg *Config) (*Result, error) { return &Result{Scenario: "cfg-checked"}, nil })
+	if _, err := NewConfig(s, map[string]string{"threads": "0"}); err == nil ||
+		!strings.Contains(err.Error(), "threads must be >= 1") {
+		t.Fatalf("checker not run at config time: %v", err)
+	}
+	if _, err := NewConfig(s, nil); err != nil {
+		t.Fatalf("valid defaults rejected: %v", err)
+	}
+}
+
+func TestConfigRejectsMalformedValue(t *testing.T) {
+	s := stub("cfg-bad", Param("threads", Int, "8", "workers"))
+	if _, err := NewConfig(s, map[string]string{"threads": "lots"}); err == nil {
+		t.Fatal("malformed value accepted")
+	}
+}
+
+func TestRegistryRegisterResolve(t *testing.T) {
+	r := NewRegistry()
+	a, b, c := stub("alpha"), stub("beta"), stub("gamma")
+	r.Register(a)
+	r.Register(b)
+	r.Register(c)
+	r.RegisterGroup("greek", "a group", "beta", "gamma")
+
+	if got := r.Names(); len(got) != 3 || got[0] != "alpha" {
+		t.Fatalf("Names = %v", got)
+	}
+	if all := r.All(); len(all) != 3 || all[0] != a || all[2] != c {
+		t.Fatalf("All() order wrong")
+	}
+	if got, ok := r.Resolve("greek"); !ok || len(got) != 2 || got[0] != b {
+		t.Fatalf("group resolve = %v, %v", got, ok)
+	}
+	if got, ok := r.Resolve("all"); !ok || len(got) != 3 {
+		t.Fatalf("all resolve = %v, %v", got, ok)
+	}
+	if _, ok := r.Resolve("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	known := strings.Join(r.Known(), ",")
+	for _, want := range []string{"alpha", "greek", "all"} {
+		if !strings.Contains(known, want) {
+			t.Fatalf("Known() = %s missing %s", known, want)
+		}
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Register(stub("dup"))
+	expectPanic("duplicate", func() { r.Register(stub("dup")) })
+	expectPanic("bad name", func() { r.Register(stub("Bad Name")) })
+	expectPanic("reserved all", func() { r.Register(stub("all")) })
+	expectPanic("empty describe", func() {
+		r.Register(New("empty-desc", "  ", nil, nil))
+	})
+	expectPanic("non-canonical default", func() {
+		r.Register(stub("bad-default", Param("w", Duration, "0.25s", "window")))
+	})
+	expectPanic("dup param key", func() {
+		r.Register(stub("dup-key", Param("k", Int, "1", "x"), Param("k", Int, "2", "y")))
+	})
+	expectPanic("group member missing", func() { r.RegisterGroup("g", "d", "ghost") })
+}
+
+func TestCanonicalJSONShape(t *testing.T) {
+	res := &Result{
+		Scenario: "demo",
+		Params:   map[string]string{"b": "2", "a": "1"},
+		Series: []Series{{
+			Label: "tput", Unit: "ops/min",
+			Points: []Point{{X: 1, Y: 100, PerCPU: []CPUSlice{{CPU: 0, Blocks: map[string]float64{"User code": 5}}}}},
+		}},
+		Notes: []string{"headline"},
+	}
+	data, err := res.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, data)
+	}
+	if doc["schema"] != Schema || doc["scenario"] != "demo" {
+		t.Fatalf("doc header = %v", doc)
+	}
+	// Canonical: repeated marshals are byte-identical, params sorted.
+	again, _ := res.MarshalCanonical()
+	if string(data) != string(again) {
+		t.Fatal("canonical encoding not stable")
+	}
+	if a, b := strings.Index(string(data), `"a"`), strings.Index(string(data), `"b"`); a < 0 || b < 0 || a > b {
+		t.Fatalf("params not key-sorted:\n%s", data)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Fatal("canonical document must end with a newline")
+	}
+}
+
+func TestRenderTextGeneric(t *testing.T) {
+	shared := &Result{
+		Scenario: "chain",
+		Params:   map[string]string{"depth": "1,2"},
+		Series: []Series{
+			{Label: "Linux", Unit: "ops/min", Points: []Point{{X: 1, Y: 10}, {X: 2, Y: 5}}},
+			{Label: "dIPC", Unit: "ops/min", Points: []Point{{X: 1, Y: 20}, {X: 2, Y: 15}}},
+		},
+		Notes: []string{"dIPC wins"},
+	}
+	out := shared.RenderText()
+	for _, want := range []string{"== scenario chain ==", "params: depth=1,2", "Linux [ops/min]", "dIPC wins"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "\n") || strings.HasSuffix(out, "\n\n") {
+		t.Fatalf("render must end with exactly one newline:\n%q", out)
+	}
+	// Pinned text wins.
+	pinned := &Result{Scenario: "x", Text: "legacy\n"}
+	if pinned.RenderText() != "legacy\n" {
+		t.Fatal("pinned text not returned")
+	}
+	// Mismatched axes fall back to the per-series listing.
+	list := &Result{Scenario: "mix", Series: []Series{
+		{Label: "a", Points: []Point{{Label: "p", Y: 1}}},
+		{Label: "b", Points: []Point{{X: 5, Y: 2}, {X: 6, Y: 3}}},
+	}}
+	if out := list.RenderText(); !strings.Contains(out, "a:\n") {
+		t.Fatalf("list render wrong:\n%s", out)
+	}
+}
