@@ -4,14 +4,23 @@
 //
 //	dipcbench list
 //	dipcbench run <scenario> [-p key=value ...] [-json path]
+//	dipcbench [-window ms] [-full] bench [-runs n] [-warmup n]
+//	          [-compare baseline.json] [-regress pct] [-json path]
+//	          [scenario ...]
 //	dipcbench [-window ms] [-full] [-parallel n] [-benchjson path]
 //	          [-cpuprofile path] [-memprofile path] [experiment ...]
 //
 // `list` prints every registered scenario with its typed parameters and
 // defaults. `run` executes one scenario with explicit parameter
 // overrides and can write the canonical dipc-scenario/v1 JSON document.
-// The third form is the legacy interface: each experiment name is a
-// scenario or group from the registry (fig1, fig2, table1, ...,
+// `bench` wall-clock-times the selected scenarios (default: the
+// scenarios of the -compare baseline, else all) over -runs measured
+// iterations after -warmup unmeasured ones, prints min/median per
+// scenario, optionally diffs against a committed BENCH_*.json baseline
+// (flagging scenarios that regressed more than -regress percent), and
+// with -json writes the dipc-bench/v3 report that becomes the next
+// baseline. The last form is the legacy interface: each experiment name
+// is a scenario or group from the registry (fig1, fig2, table1, ...,
 // ablations, all; default: all), and the -window/-full flags forward to
 // every selected scenario that declares those parameters.
 //
@@ -121,6 +130,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	switch {
 	case len(args) > 0 && args[0] == "list":
 		return cmdList(reg, stdout)
+
+	case len(args) > 0 && args[0] == "bench":
+		return cmdBench(reg, args[1:], globalOverrides, *full, *windowMs, stdout, stderr)
 
 	case len(args) > 0 && args[0] == "run":
 		rest := args[1:]
@@ -271,6 +283,151 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "memprofile: %v\n", err)
 			return 1
 		}
+	}
+	return 0
+}
+
+// cmdBench times the selected scenarios under a multi-run wall clock and
+// optionally diffs them against a committed baseline report. It is the
+// perf-regression harness: CI's non-blocking perf-smoke job runs
+// `bench -compare BENCH_engine.json` and annotates the log when a
+// scenario regresses past the threshold. Comparison and regression
+// flagging never change the exit code — wall-clock noise on shared
+// runners must not gate merges.
+func cmdBench(reg *scenario.Registry, argv []string,
+	globalOverrides func(scenario.Scenario) map[string]string,
+	full bool, windowMs float64, stdout, stderr io.Writer) int {
+
+	sub := flag.NewFlagSet("dipcbench bench", flag.ContinueOnError)
+	sub.SetOutput(stderr)
+	runs := sub.Int("runs", 3, "measured runs per scenario (min/median reported)")
+	warmup := sub.Int("warmup", 1, "unmeasured warmup runs per scenario")
+	compare := sub.String("compare", "", "baseline BENCH_*.json to diff against")
+	regress := sub.Float64("regress", 25, "flag scenarios slower than baseline by more than this percent")
+	jsonPath := sub.String("json", "", "write the dipc-bench/v3 report to this path")
+	if err := sub.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	var baseline *experiments.BenchReport
+	if *compare != "" {
+		var err error
+		baseline, err = experiments.LoadBenchReport(*compare)
+		if err != nil {
+			fmt.Fprintf(stderr, "compare: %v\n", err)
+			return 2
+		}
+	}
+
+	// Scenario selection: positional names (groups allowed), else the
+	// baseline's scenario set, else everything. A baseline entry whose
+	// scenario is no longer registered is skipped — it surfaces as a
+	// "not run" row in the comparison instead of failing the whole
+	// bench, so retiring a scenario cannot break the CI perf smoke.
+	names := sub.Args()
+	fromBaseline := false
+	if len(names) == 0 {
+		if baseline != nil {
+			fromBaseline = true
+			for _, e := range baseline.Results {
+				names = append(names, e.Name)
+			}
+		} else {
+			names = []string{"all"}
+		}
+	}
+	want := map[string]bool{}
+	for _, a := range names {
+		list, ok := reg.Resolve(strings.ToLower(a))
+		if !ok {
+			if fromBaseline {
+				fmt.Fprintf(stderr, "skipping baseline scenario %q: not registered\n", a)
+				continue
+			}
+			fmt.Fprintf(stderr, "unknown scenario %q (known: %s)\n", a, strings.Join(reg.Known(), ", "))
+			return 2
+		}
+		for _, s := range list {
+			want[s.Name()] = true
+		}
+	}
+	var jobs []job
+	for _, s := range reg.All() {
+		if want[s.Name()] {
+			jobs = append(jobs, job{scn: s, overrides: globalOverrides(s)})
+		}
+	}
+
+	cfgs := make([]*scenario.Config, len(jobs))
+	for i, j := range jobs {
+		cfg, err := scenario.NewConfig(j.scn, j.overrides)
+		if err != nil {
+			fmt.Fprintf(stderr, "%v\n", err)
+			return 2
+		}
+		cfgs[i] = cfg
+	}
+
+	report := experiments.NewBenchReport()
+	report.Full = full
+	report.Window = scenario.FormatDuration(sim.Millis(windowMs))
+	for i, j := range jobs {
+		var runErr error
+		report.TimeRuns(j.scn.Name(), *runs, *warmup, cfgs[i].ParamStrings(), func() {
+			if _, err := j.scn.Run(cfgs[i]); err != nil && runErr == nil {
+				runErr = err
+			}
+		})
+		if runErr != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", j.scn.Name(), runErr)
+			return 1
+		}
+	}
+
+	if baseline == nil {
+		fmt.Fprintf(stdout, "%-14s %5s %12s %12s\n", "scenario", "runs", "min", "median")
+		for _, e := range report.Results {
+			fmt.Fprintf(stdout, "%-14s %5d %12s %12s\n",
+				e.Name, e.Runs, experiments.FmtNs(float64(e.MinNs)), experiments.FmtNs(float64(e.MedianNs)))
+		}
+	} else {
+		regressions := 0
+		fmt.Fprintf(stdout, "%-14s %12s %12s %9s\n", "scenario", "baseline", "median", "delta")
+		for _, d := range experiments.CompareReports(baseline, report) {
+			switch {
+			case d.CurNs == 0:
+				fmt.Fprintf(stdout, "%-14s %12s %12s %9s\n",
+					d.Name, experiments.FmtNs(d.BaseNs), "-", "not run")
+			case d.BaseNs == 0:
+				fmt.Fprintf(stdout, "%-14s %12s %12s %9s\n",
+					d.Name, "-", experiments.FmtNs(d.CurNs), "new")
+			default:
+				mark := ""
+				if d.Regressed(*regress) {
+					mark = "  !! regression"
+					regressions++
+				}
+				fmt.Fprintf(stdout, "%-14s %12s %12s %+8.1f%%%s\n",
+					d.Name, experiments.FmtNs(d.BaseNs), experiments.FmtNs(d.CurNs), d.Pct, mark)
+			}
+		}
+		if regressions > 0 {
+			fmt.Fprintf(stdout, "%d scenario(s) regressed more than %.0f%% vs %s\n",
+				regressions, *regress, *compare)
+		} else {
+			fmt.Fprintf(stdout, "no scenario regressed more than %.0f%% vs %s\n", *regress, *compare)
+		}
+	}
+
+	if *jsonPath != "" {
+		if err := report.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintf(stderr, "json: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote benchmark report: %s\n", *jsonPath)
 	}
 	return 0
 }

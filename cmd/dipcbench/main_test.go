@@ -111,6 +111,92 @@ func TestRunBenchJSONWritesReport(t *testing.T) {
 	}
 }
 
+func TestBenchSubcommandWritesV3Report(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_v3.json")
+	var out, errb bytes.Buffer
+	args := []string{"bench", "-runs", "2", "-warmup", "1", "-json", path, "anchors", "table1"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"scenario", "median", "anchors", "table1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("bench table missing %q:\n%s", want, out.String())
+		}
+	}
+	report, err := experiments.LoadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != "dipc-bench/v3" {
+		t.Fatalf("schema = %q, want dipc-bench/v3", report.Schema)
+	}
+	if len(report.Results) != 2 {
+		t.Fatalf("results = %+v, want 2 entries", report.Results)
+	}
+	for _, e := range report.Results {
+		if e.Runs != 2 || e.Warmup != 1 || e.MinNs <= 0 || e.MedianNs <= 0 {
+			t.Fatalf("entry = %+v, want runs=2 warmup=1 with min/median", e)
+		}
+	}
+}
+
+func TestBenchSubcommandCompare(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+
+	// Seed a baseline with one scenario sure to "regress" (impossibly
+	// fast) and one sure to "improve" (impossibly slow), plus a retired
+	// scenario that is no longer in the registry: it must be skipped
+	// (surfacing as "not run"), not fail the bench.
+	seed := `{
+	  "schema": "dipc-bench/v2",
+	  "results": [
+	    {"name": "anchors", "runs": 1, "wall_ns": 1, "ns_per_run": 1},
+	    {"name": "table1", "runs": 1, "wall_ns": 3600000000000, "ns_per_run": 3600000000000},
+	    {"name": "retired-scn", "runs": 1, "wall_ns": 42, "ns_per_run": 42}
+	  ]
+	}`
+	if err := os.WriteFile(baseline, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	// No positional scenarios: the set comes from the baseline.
+	args := []string{"bench", "-runs", "1", "-warmup", "0", "-compare", baseline}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d (comparison must never gate), stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "!! regression") {
+		t.Errorf("anchors vs 1ns baseline should be flagged as regression:\n%s", got)
+	}
+	if !strings.Contains(got, "1 scenario(s) regressed more than 25%") {
+		t.Errorf("missing regression summary:\n%s", got)
+	}
+	if !strings.Contains(got, "baseline") || !strings.Contains(got, "delta") {
+		t.Errorf("missing compare table header:\n%s", got)
+	}
+	if !strings.Contains(got, "retired-scn") || !strings.Contains(got, "not run") {
+		t.Errorf("retired baseline scenario missing its 'not run' row:\n%s", got)
+	}
+	if !strings.Contains(errb.String(), `skipping baseline scenario "retired-scn"`) {
+		t.Errorf("missing skip notice on stderr: %s", errb.String())
+	}
+}
+
+func TestBenchSubcommandRejectsBadInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"bench", "-runs", "1", "fig99"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown scenario: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown scenario") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"bench", "-compare", "no-such-file.json", "anchors"}, &out, &errb); code != 2 {
+		t.Fatalf("missing baseline: exit %d, want 2", code)
+	}
+}
+
 func TestListScenarios(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"list"}, &out, &errb); code != 0 {

@@ -1,0 +1,88 @@
+// Baseline comparison for BENCH_*.json reports: the data model behind
+// `dipcbench bench -compare`, and the perf-smoke CI job built on it.
+
+package experiments
+
+import "fmt"
+
+// BenchDelta is one scenario's baseline-vs-current comparison.
+type BenchDelta struct {
+	Name   string
+	Params map[string]string // current run's resolved parameters
+	BaseNs float64           // 0 when the scenario is new
+	CurNs  float64           // 0 when the scenario exists only in the baseline
+	Pct    float64           // 100*(cur-base)/base, meaningful when both sides exist
+}
+
+// Comparable reports whether both sides measured the scenario.
+func (d BenchDelta) Comparable() bool { return d.BaseNs > 0 && d.CurNs > 0 }
+
+// Regressed reports whether the scenario got slower than the baseline by
+// more than threshold percent.
+func (d BenchDelta) Regressed(threshold float64) bool {
+	return d.Comparable() && d.Pct > threshold
+}
+
+// String renders the delta for logs: "fig6 198.4ms -> 71.7ms (-63.9%)".
+func (d BenchDelta) String() string {
+	switch {
+	case d.CurNs == 0:
+		return fmt.Sprintf("%s %s -> (not run)", d.Name, FmtNs(d.BaseNs))
+	case d.BaseNs == 0:
+		return fmt.Sprintf("%s (new) -> %s", d.Name, FmtNs(d.CurNs))
+	}
+	return fmt.Sprintf("%s %s -> %s (%+.1f%%)", d.Name, FmtNs(d.BaseNs), FmtNs(d.CurNs), d.Pct)
+}
+
+// CompareReports matches entries by scenario name: current-report order
+// first, then baseline-only scenarios in baseline order. Duplicate names
+// keep the first occurrence, matching how reports are generated (one
+// entry per selected scenario).
+func CompareReports(base, cur *BenchReport) []BenchDelta {
+	baseBy := map[string]*BenchEntry{}
+	for i := range base.Results {
+		e := &base.Results[i]
+		if _, dup := baseBy[e.Name]; !dup {
+			baseBy[e.Name] = e
+		}
+	}
+	var out []BenchDelta
+	seen := map[string]bool{}
+	for i := range cur.Results {
+		e := &cur.Results[i]
+		if seen[e.Name] {
+			continue
+		}
+		seen[e.Name] = true
+		d := BenchDelta{Name: e.Name, Params: e.Params, CurNs: e.RepNs()}
+		if b, ok := baseBy[e.Name]; ok {
+			d.BaseNs = b.RepNs()
+			if d.BaseNs > 0 {
+				d.Pct = 100 * (d.CurNs - d.BaseNs) / d.BaseNs
+			}
+		}
+		out = append(out, d)
+	}
+	for i := range base.Results {
+		e := &base.Results[i]
+		if !seen[e.Name] {
+			seen[e.Name] = true
+			out = append(out, BenchDelta{Name: e.Name, BaseNs: e.RepNs()})
+		}
+	}
+	return out
+}
+
+// FmtNs renders a nanosecond quantity at log-friendly precision.
+func FmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fus", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

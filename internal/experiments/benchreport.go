@@ -1,26 +1,31 @@
 // Wall-clock benchmark reporting. The simulated quantities the
 // experiments produce are deterministic; how long the simulator takes to
 // produce them is the perf trajectory this repo tracks across PRs.
-// cmd/dipcbench -benchjson wraps each experiment it runs with a timer and
-// serializes the result in the repo's BENCH_*.json shape, so a baseline
-// written by one PR can be diffed against the next.
+// cmd/dipcbench's bench subcommand (and the legacy -benchjson flag) wraps
+// each experiment it runs with a timer and serializes the result in the
+// repo's BENCH_*.json shape, so a baseline written by one PR can be
+// diffed against the next (bench -compare).
 
 package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 )
 
 // BenchSchema identifies the report layout; bump it if fields change
-// incompatibly. v2 records the run context — worker parallelism was
-// already in v1; v2 adds the -full/-window settings and the resolved
-// per-scenario parameter values — so BENCH_*.json baselines are
-// comparable across PRs: two reports measure the same thing only if
-// their contexts match.
-const BenchSchema = "dipc-bench/v2"
+// incompatibly. v3 measures each scenario over multiple runs with
+// unmeasured warmup iterations and records min and median alongside the
+// mean, so a single noisy sample (the runs:1 reports of v1/v2) no longer
+// decides a baseline. v2 added the run context (-full/-window settings,
+// resolved per-scenario parameters); two reports measure the same thing
+// only if their contexts match.
+const BenchSchema = "dipc-bench/v3"
 
 // BenchReport is the top-level document emitted as BENCH_*.json.
 type BenchReport struct {
@@ -41,8 +46,21 @@ type BenchEntry struct {
 	Name     string            `json:"name"`
 	Params   map[string]string `json:"params,omitempty"` // resolved scenario parameters
 	Runs     int               `json:"runs"`
-	WallNs   int64             `json:"wall_ns"`    // total across Runs
-	NsPerRun float64           `json:"ns_per_run"` // WallNs / Runs
+	Warmup   int               `json:"warmup,omitempty"` // unmeasured runs before the timer
+	WallNs   int64             `json:"wall_ns"`          // total across the measured runs
+	MinNs    int64             `json:"min_ns,omitempty"`
+	MedianNs int64             `json:"median_ns,omitempty"`
+	NsPerRun float64           `json:"ns_per_run"` // mean: WallNs / Runs
+}
+
+// RepNs returns the entry's most stable per-run figure: the median when
+// recorded, else the mean — which keeps v1/v2 baselines (single-sample,
+// no median field) comparable under bench -compare.
+func (e *BenchEntry) RepNs() float64 {
+	if e.MedianNs > 0 {
+		return float64(e.MedianNs)
+	}
+	return e.NsPerRun
 }
 
 // NewBenchReport returns a report stamped with the current toolchain,
@@ -69,19 +87,45 @@ func (r *BenchReport) Time(name string, runs int, fn func()) {
 // recorded on the entry, so a baseline diff can tell a slower simulator
 // from a bigger workload.
 func (r *BenchReport) TimeWithParams(name string, runs int, params map[string]string, fn func()) {
+	r.TimeRuns(name, runs, 0, params, fn)
+}
+
+// TimeRuns is the full-control timer: `warmup` unmeasured runs (JIT-warm
+// caches, page in the working set) followed by `runs` individually timed
+// runs, recorded as min/median/mean. runs < 1 clamps to 1; warmup < 0 to
+// 0.
+func (r *BenchReport) TimeRuns(name string, runs, warmup int, params map[string]string, fn func()) {
 	if runs < 1 {
 		runs = 1
 	}
-	start := time.Now()
-	for i := 0; i < runs; i++ {
+	if warmup < 0 {
+		warmup = 0
+	}
+	for i := 0; i < warmup; i++ {
 		fn()
 	}
-	wall := time.Since(start).Nanoseconds()
+	samples := make([]int64, runs)
+	var wall int64
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		fn()
+		samples[i] = time.Since(start).Nanoseconds()
+		wall += samples[i]
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := sorted[runs/2]
+	if runs%2 == 0 {
+		median = (sorted[runs/2-1] + sorted[runs/2]) / 2
+	}
 	r.Results = append(r.Results, BenchEntry{
 		Name:     name,
 		Params:   params,
 		Runs:     runs,
+		Warmup:   warmup,
 		WallNs:   wall,
+		MinNs:    sorted[0],
+		MedianNs: median,
 		NsPerRun: float64(wall) / float64(runs),
 	})
 }
@@ -93,4 +137,22 @@ func (r *BenchReport) WriteFile(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBenchReport reads a BENCH_*.json report from disk. Older schemas
+// (dipc-bench/v1, v2) load fine: comparison falls back from median to
+// ns_per_run via RepNs.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(r.Schema, "dipc-bench/") {
+		return nil, fmt.Errorf("%s: not a dipc-bench report (schema %q)", path, r.Schema)
+	}
+	return &r, nil
 }

@@ -41,3 +41,119 @@ func TestBenchReportRoundTrip(t *testing.T) {
 		t.Fatalf("round-trip mismatch: %+v", back)
 	}
 }
+
+func TestTimeRunsWarmupAndMedian(t *testing.T) {
+	r := NewBenchReport()
+	calls := 0
+	r.TimeRuns("warm", 3, 2, nil, func() { calls++ })
+	if calls != 5 {
+		t.Fatalf("fn ran %d times, want 5 (2 warmup + 3 measured)", calls)
+	}
+	e := r.Results[0]
+	if e.Runs != 3 || e.Warmup != 2 {
+		t.Fatalf("entry = %+v, want runs=3 warmup=2", e)
+	}
+	if e.MinNs <= 0 || e.MedianNs < e.MinNs || float64(e.MedianNs) > float64(e.WallNs) {
+		t.Fatalf("implausible stats: %+v", e)
+	}
+	if e.RepNs() != float64(e.MedianNs) {
+		t.Fatalf("RepNs = %v, want median %d", e.RepNs(), e.MedianNs)
+	}
+	// Negative warmup clamps; runs clamp to 1.
+	calls = 0
+	r.TimeRuns("clamp", 0, -3, nil, func() { calls++ })
+	if calls != 1 || r.Results[1].Runs != 1 || r.Results[1].Warmup != 0 {
+		t.Fatalf("clamping broken: calls=%d entry=%+v", calls, r.Results[1])
+	}
+}
+
+// TestRepNsFallsBackForOldSchemas: v1/v2 baselines carry no median; the
+// comparison figure must fall back to the single-sample mean so old
+// committed baselines stay diffable.
+func TestRepNsFallsBackForOldSchemas(t *testing.T) {
+	e := BenchEntry{Name: "fig6", Runs: 1, WallNs: 1000, NsPerRun: 1000}
+	if e.RepNs() != 1000 {
+		t.Fatalf("RepNs = %v, want ns_per_run fallback 1000", e.RepNs())
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	base := &BenchReport{Results: []BenchEntry{
+		{Name: "fig2", MedianNs: 1000},
+		{Name: "fig5", MedianNs: 2000},
+		{Name: "gone", MedianNs: 500},
+	}}
+	cur := &BenchReport{Results: []BenchEntry{
+		{Name: "fig2", MedianNs: 1300}, // +30%: regression at the 25% bar
+		{Name: "fig5", MedianNs: 1000}, // -50%: improvement
+		{Name: "new", MedianNs: 700},
+	}}
+	deltas := CompareReports(base, cur)
+	if len(deltas) != 4 {
+		t.Fatalf("deltas = %+v, want 4 entries", deltas)
+	}
+	byName := map[string]BenchDelta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["fig2"]; !d.Regressed(25) || d.Pct < 29.9 || d.Pct > 30.1 {
+		t.Fatalf("fig2 delta = %+v, want +30%% regression", d)
+	}
+	if d := byName["fig5"]; d.Regressed(25) || d.Pct > -49.9 {
+		t.Fatalf("fig5 delta = %+v, want -50%% improvement", d)
+	}
+	if d := byName["new"]; d.Comparable() || d.BaseNs != 0 || d.CurNs != 700 {
+		t.Fatalf("new delta = %+v", d)
+	}
+	if d := byName["gone"]; d.Comparable() || d.CurNs != 0 || d.BaseNs != 500 {
+		t.Fatalf("gone delta = %+v", d)
+	}
+	// A regression below the threshold is not flagged.
+	if byName["fig2"].Regressed(35) {
+		t.Fatal("30% flagged at a 35% threshold")
+	}
+}
+
+func TestLoadBenchReport(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	r := NewBenchReport()
+	r.Time("x", 1, func() {})
+	if err := r.WriteFile(good); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBenchReport(good)
+	if err != nil || len(back.Results) != 1 || back.Results[0].Name != "x" {
+		t.Fatalf("LoadBenchReport = %+v, %v", back, err)
+	}
+	// Old schema loads too.
+	old := filepath.Join(dir, "old.json")
+	os.WriteFile(old, []byte(`{"schema":"dipc-bench/v2","results":[{"name":"y","runs":1,"wall_ns":5,"ns_per_run":5}]}`), 0o644)
+	back, err = LoadBenchReport(old)
+	if err != nil || back.Results[0].RepNs() != 5 {
+		t.Fatalf("v2 load = %+v, %v", back, err)
+	}
+	// Non-bench JSON is rejected.
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"schema":"dipc-scenario/v1"}`), 0o644)
+	if _, err := LoadBenchReport(bad); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := LoadBenchReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFmtNs(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want string
+	}{
+		{2.5e9, "2.50s"}, {226.1e6, "226.1ms"}, {97.2e3, "97.2us"}, {42, "42ns"},
+	}
+	for _, c := range cases {
+		if got := FmtNs(c.ns); got != c.want {
+			t.Errorf("FmtNs(%v) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}

@@ -55,7 +55,10 @@ func (c *CPU) reserve(t *Thread) {
 }
 
 // fire schedules t's actual resumption after delay and finalizes the
-// switch bookkeeping.
+// switch bookkeeping. The wake rides the sim engine's direct-handoff
+// path: when this CPU switch is the next simulated event, whichever
+// goroutine is running delivers the payload straight to t's proc — and
+// the common nil wakeData travels the engine's unboxed payload lane.
 func (c *CPU) fire(t *Thread, delay sim.Time) {
 	c.lastPT = t.proc.PageTable
 	c.lastProc = t.proc

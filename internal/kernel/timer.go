@@ -2,9 +2,6 @@ package kernel
 
 import "repro/internal/sim"
 
-// timeoutMark is the wake payload delivered by an expired block timeout.
-type timeoutMark struct{}
-
 // Timer is a cancelable one-shot wakeup used by BlockTimeout.
 type Timer struct {
 	armed bool
@@ -15,7 +12,9 @@ func (tm *Timer) Disarm() { tm.armed = false }
 
 // BlockTimeout parks the thread like Block but also arms a timer: if no
 // Wake arrives within d, the thread resumes with ok=false. The returned
-// Timer is already disarmed when ok=true.
+// Timer is already disarmed when ok=true. The expiry delivers sim's
+// canonical timeout payload, so the wake rides the engine's unboxed fast
+// lane end to end instead of boxing a kernel-private marker.
 func (t *Thread) BlockTimeout(arm func(), d sim.Time) (data any, ok bool) {
 	tm := &Timer{armed: true}
 	v := t.Block(func() {
@@ -24,12 +23,12 @@ func (t *Thread) BlockTimeout(arm func(), d sim.Time) (data any, ok bool) {
 		}
 		t.m.Eng.At(d, func() {
 			if tm.armed {
-				t.Wake(timeoutMark{}, nil)
+				t.Wake(sim.TimeoutValue(), nil)
 			}
 		})
 	})
 	tm.Disarm()
-	if _, timedOut := v.(timeoutMark); timedOut {
+	if sim.TimedOut(v) {
 		return nil, false
 	}
 	return v, true

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // event is a single entry in the engine's time-ordered queue. An event
 // either resumes a parked Proc or runs a callback in the engine context.
@@ -8,35 +11,53 @@ import "fmt"
 // never allocates per event in steady state.
 type event struct {
 	at   Time
-	seq  uint64 // tie-breaker: FIFO among events at the same instant
-	proc *Proc  // if non-nil, resume this proc...
-	gen  uint64 // ...but only if it is still parked on this generation
-	data any    // value returned from the proc's park
-	fn   func() // if proc is nil, run this callback
+	seq  uint64  // tie-breaker: FIFO among events at the same instant
+	proc *Proc   // if non-nil, resume this proc...
+	gen  uint64  // ...but only if it is still parked on this generation
+	data payload // value returned from the proc's park
+	fn   func()  // if proc is nil, run this callback
 }
+
+// maxTime is the open-ended run limit used by Step and Run.
+const maxTime = Time(math.MaxInt64)
 
 // Engine is a deterministic discrete-event simulator. It owns the
 // simulated clock and the event queue, and hands control to exactly one
-// Proc at a time. All mutation of simulation state therefore happens
+// goroutine at a time. All mutation of simulation state therefore happens
 // race-free, without locks, in a well-defined order.
+//
+// Dispatch uses direct handoff: there is no dedicated engine goroutine.
+// The scheduling loop (schedule) migrates onto whichever goroutine is
+// running — when a proc parks, its own goroutine pops the next event and
+// delivers the payload straight to the target's resume channel, the same
+// way dIPC threads switch protection domains without trapping into the
+// kernel. A dispatch therefore costs one channel handoff instead of the
+// classic two (running proc -> engine goroutine -> next proc), a proc
+// whose own wakeup is the next event resumes with no channel operation at
+// all, and callback events run inline on whatever goroutine holds
+// control.
 type Engine struct {
 	now    Time
 	seq    uint64
 	events eventQueue
 	rng    *Rand
 
-	yield    chan struct{} // running proc -> engine handoff
-	running  *Proc
-	live     int // procs spawned and not yet finished
-	panicVal any // re-thrown panic from a proc
+	boot     chan struct{} // control handback to the Step/Run/RunUntil caller
+	live     int           // procs spawned and not yet finished
+	panicVal any           // re-thrown panic from a proc or callback
+
+	limit  Time // events scheduled after this instant stay queued
+	budget int  // deliveries before control returns to the bootstrap; -1 = unbounded
 }
 
 // NewEngine returns an engine with the clock at zero and the given
 // deterministic seed.
 func NewEngine(seed uint64) *Engine {
 	return &Engine{
-		rng:   NewRand(seed),
-		yield: make(chan struct{}),
+		rng:    NewRand(seed),
+		boot:   make(chan struct{}),
+		limit:  maxTime,
+		budget: -1,
 	}
 }
 
@@ -63,9 +84,9 @@ func (e *Engine) Live() int { return e.live }
 // push enqueues an event, classifying it immediately: a proc event whose
 // generation is already superseded or consumed (a Wake on a stale Waiter)
 // is counted stale at birth, everything else is charged to the proc's
-// queued count so the bookkeeping in bumpGen/procExited/Step can move the
-// whole batch to stale the moment it becomes undeliverable.
-func (e *Engine) push(at Time, p *Proc, gen uint64, data any, fn func()) {
+// queued count so the bookkeeping in bumpGen/procExited/schedule can move
+// the whole batch to stale the moment it becomes undeliverable.
+func (e *Engine) push(at Time, p *Proc, gen uint64, data payload, fn func()) {
 	if at < e.now {
 		at = e.now
 	}
@@ -103,17 +124,19 @@ func (e *Engine) procExited(p *Proc) {
 // must not park (it does not run on a Proc); it is intended for timers,
 // interrupt delivery and bookkeeping.
 func (e *Engine) At(d Time, fn func()) {
-	e.push(e.now+d, nil, 0, nil, fn)
+	e.push(e.now+d, nil, 0, payload{}, fn)
 }
 
 // Spawn creates a new simulated thread running fn and schedules it to
 // start after delay d. The backing goroutine parks immediately and only
-// executes while the engine hands it control.
+// executes while it holds engine control. When fn returns, the dying
+// goroutine itself carries the engine loop forward, handing control to
+// whichever goroutine the next event wakes.
 func (e *Engine) Spawn(name string, d Time, fn func(p *Proc)) *Proc {
 	p := &Proc{
 		eng:    e,
 		name:   name,
-		resume: make(chan any),
+		resume: make(chan payload),
 	}
 	e.live++
 	go func() {
@@ -121,28 +144,126 @@ func (e *Engine) Spawn(name string, d Time, fn func(p *Proc)) *Proc {
 		defer func() {
 			p.finished = true
 			e.procExited(p)
-			if r := recover(); r != nil && e.panicVal == nil {
-				e.panicVal = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+			if r := recover(); r != nil {
+				if e.panicVal == nil {
+					e.panicVal = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+				}
+				e.boot <- struct{}{}
+				return
 			}
-			e.yield <- struct{}{}
+			e.finish()
 		}()
 		fn(p)
 	}()
 	e.bumpGen(p)
-	e.push(e.now+d, p, p.gen, nil, nil)
+	e.push(e.now+d, p, p.gen, payload{}, nil)
 	return p
 }
 
-// dispatch hands control to p, delivering data as the park return value,
-// and blocks until p parks again or finishes. The payload crosses the
-// channel as a bare any: the common nil-data wakeup (Sleep, plain
-// WakeOne) transfers a zero interface word with no wrapper struct.
-func (e *Engine) dispatch(p *Proc, data any) {
-	prev := e.running
-	e.running = p
-	p.resume <- data
-	<-e.yield
-	e.running = prev
+// schedResult says where control went after a schedule call.
+type schedResult uint8
+
+const (
+	schedStopped schedResult = iota // stop condition; the bootstrap has (or is being handed) control
+	schedHanded                     // payload delivered to another proc's goroutine
+	schedSelf                       // the next wakeup targeted self; payload returned inline
+)
+
+// schedule is the engine loop. It runs on the calling goroutine — the
+// heart of direct-handoff dispatch — popping events until either control
+// moves to another goroutine or a stop condition (queue empty, limit
+// boundary, budget exhausted) returns it to the bootstrap.
+//
+// self names the proc whose goroutine is executing, so that proc's own
+// wakeup can be returned inline with no channel operation; it is nil for
+// the bootstrap and for a proc that has finished. isBoot marks the
+// bootstrap itself: on stop it keeps control instead of signalling
+// e.boot.
+//
+// Stale wakeups (a timer firing after its waiter was already woken
+// through another path) are dropped at the head without advancing the
+// clock, before the limit test, so an abandoned deadline inside a
+// RunUntil window cannot bait the loop into delivering a live event
+// scheduled after the window.
+func (e *Engine) schedule(self *Proc, isBoot bool) (payload, schedResult) {
+	for e.budget != 0 {
+		for e.events.len() > 0 && staleEvent(e.events.head()) {
+			e.events.pop()
+			e.events.stale--
+		}
+		if e.events.len() == 0 || e.events.head().at > e.limit {
+			break
+		}
+		ev := e.events.pop()
+		if e.budget > 0 {
+			e.budget--
+		}
+		e.now = ev.at
+		if ev.proc == nil {
+			if !e.runCallback(ev.fn) {
+				break // abort: hand control home; enter re-throws panicVal
+			}
+			continue
+		}
+		// Delivering this wakeup consumes the generation: any other event
+		// still queued for it (say, the deadline timer of a WaitTimeout
+		// that was woken early) is stale as of now.
+		p := ev.proc
+		p.delivered = ev.gen
+		e.events.stale += p.queued - 1
+		p.queued = 0
+		if p == self {
+			return ev.data, schedSelf
+		}
+		p.resume <- ev.data
+		return payload{}, schedHanded
+	}
+	if !isBoot {
+		e.boot <- struct{}{}
+	}
+	return payload{}, schedStopped
+}
+
+// runCallback executes a callback event, reporting false if it panicked.
+// The panic is contained here — not allowed to unwind — because the loop
+// may be hosted by a parked proc's goroutine: a raw panic would unwind
+// that innocent proc's user code and be misattributed to it by Spawn's
+// recover. Containing it means a panicking callback behaves identically
+// on every goroutine: the loop stops, control returns to the bootstrap,
+// and enter re-throws "sim: callback panicked" there.
+func (e *Engine) runCallback(fn func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil && e.panicVal == nil {
+			e.panicVal = fmt.Errorf("sim: callback panicked: %v", r)
+		}
+	}()
+	fn()
+	return true
+}
+
+// finish continues the engine loop after a proc exits. The backstop
+// recover converts a panic escaping the loop itself (an engine bug —
+// callback panics are already contained by runCallback) into an engine
+// panic delivered to the bootstrap instead of a process crash.
+func (e *Engine) finish() {
+	defer func() {
+		if r := recover(); r != nil {
+			if e.panicVal == nil {
+				e.panicVal = fmt.Errorf("sim: engine loop panicked: %v", r)
+			}
+			e.boot <- struct{}{}
+		}
+	}()
+	e.schedule(nil, false)
+}
+
+// enter drives the engine from the bootstrap goroutine, waits for control
+// to come home if the loop handed it to a proc, then re-throws any panic
+// a proc or callback raised.
+func (e *Engine) enter() {
+	if _, r := e.schedule(nil, true); r == schedHanded {
+		<-e.boot
+	}
 	if e.panicVal != nil {
 		v := e.panicVal
 		e.panicVal = nil
@@ -150,62 +271,36 @@ func (e *Engine) dispatch(p *Proc, data any) {
 	}
 }
 
-// Step processes the single next event. It reports false when the queue is
-// empty. Stale wakeups (a timer firing after its waiter was already woken
-// through another path) are dropped without advancing the clock, exactly
-// as the pre-pooling engine did: the delivered-watermark test below is
-// equivalent to its parked check, because a proc between Steps is parked
-// iff its current generation has not been delivered yet.
+// Step processes the single next event. It reports false when the queue
+// is empty. Note that Step pays a full bootstrap round trip per proc
+// event — dispatching the target and waiting for control to come back —
+// where Run's migrating loop pays a single direct handoff; event-at-a-time
+// driving is the compatibility interface, Run/RunUntil are the fast path.
 func (e *Engine) Step() bool {
-	for e.events.len() > 0 {
-		ev := e.events.pop()
-		if ev.proc != nil {
-			p := ev.proc
-			if p.finished || ev.gen != p.gen || ev.gen <= p.delivered {
-				e.events.stale--
-				continue
-			}
-			// Delivering this wakeup consumes the generation: any other
-			// event still queued for it (say, the deadline timer of a
-			// WaitTimeout that was woken early) is stale as of now.
-			p.delivered = ev.gen
-			e.events.stale += p.queued - 1
-			p.queued = 0
-			e.now = ev.at
-			e.dispatch(p, ev.data)
-			return true
-		}
-		e.now = ev.at
-		ev.fn()
-		return true
-	}
-	return false
+	e.limit = maxTime
+	e.budget = 1
+	e.enter()
+	stepped := e.budget == 0
+	e.budget = -1
+	return stepped
 }
 
 // Run processes events until the queue is empty. If Procs remain parked
 // with no pending event to wake them, the simulation has deadlocked; Run
 // returns and the caller can inspect Live().
 func (e *Engine) Run() {
-	for e.Step() {
-	}
+	e.limit = maxTime
+	e.budget = -1
+	e.enter()
 }
 
 // RunUntil processes events up to and including time t, then sets the
-// clock to t. Events scheduled after t remain queued. Known-stale heads
-// are dropped before the boundary test, so an abandoned timer with a
-// deadline inside the window cannot bait Step into delivering a live
-// event scheduled after t (which would overshoot the clock past t).
+// clock to t. Events scheduled after t remain queued.
 func (e *Engine) RunUntil(t Time) {
-	for e.events.len() > 0 {
-		for e.events.len() > 0 && staleEvent(e.events.head()) {
-			e.events.pop()
-			e.events.stale--
-		}
-		if e.events.len() == 0 || e.events.head().at > t {
-			break
-		}
-		e.Step()
-	}
+	e.limit = t
+	e.budget = -1
+	e.enter()
+	e.limit = maxTime
 	if e.now < t {
 		e.now = t
 	}

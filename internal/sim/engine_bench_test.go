@@ -88,6 +88,67 @@ func BenchmarkEngineWaitQueueContention(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSleepWake measures the cost of one Sleep (park + timed
+// self-wake) under Run: a single proc repeatedly sleeping. This is the
+// pattern Thread.Exec hammers — every simulated computation slice is one
+// of these — so it dominates the OLTP figures' wall time.
+func BenchmarkEngineSleepWake(b *testing.B) {
+	e := NewEngine(1)
+	e.Spawn("s", 0, func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Nanosecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineRunPingPong measures a full sleep/wake round trip
+// between two procs under Run — the dispatch path itself, as the
+// experiments drive it (Run/RunUntil), rather than one Step per
+// iteration. One op is one round: two dispatches.
+func BenchmarkEngineRunPingPong(b *testing.B) {
+	e := NewEngine(1)
+	var q1, q2 WaitQueue
+	n := b.N
+	e.Spawn("a", 0, func(p *Proc) {
+		for i := 0; i < n; i++ {
+			q1.Wait(p)
+			q2.WakeOne(0, nil)
+		}
+	})
+	e.Spawn("b", Nanosecond, func(p *Proc) {
+		for i := 0; i < n; i++ {
+			q1.WakeOne(0, nil)
+			if i < n-1 {
+				q2.Wait(p)
+			}
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineCallbackChain measures consecutive At callbacks under
+// Run: pure engine-context events with no proc dispatch at all.
+func BenchmarkEngineCallbackChain(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.At(Nanosecond, tick)
+		}
+	}
+	e.At(Nanosecond, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
 // BenchmarkEngineTimeoutChurn measures the WaitTimeout wake-before-
 // deadline pattern from the OLTP runs: every iteration abandons a timer
 // event, so this path exercises stale accounting and periodic compaction.

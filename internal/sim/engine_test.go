@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -244,6 +246,51 @@ func TestProcPanicPropagates(t *testing.T) {
 	e := NewEngine(1)
 	e.Spawn("bad", 0, func(p *Proc) { panic("boom") })
 	e.Run()
+}
+
+// TestCallbackPanicAttribution: a panicking At callback must surface as
+// "callback panicked" no matter which goroutine happens to host the
+// migrating engine loop when it fires — the bootstrap, a parked proc
+// (which must NOT be blamed or unwound), or a proc that just exited.
+func TestCallbackPanicAttribution(t *testing.T) {
+	capture := func(fn func(e *Engine)) (r any) {
+		defer func() { r = recover() }()
+		e := NewEngine(1)
+		fn(e)
+		e.Run()
+		return nil
+	}
+
+	// Bootstrap-hosted: no procs at all.
+	r := capture(func(e *Engine) {
+		e.At(Nanosecond, func() { panic("boom-boot") })
+	})
+	if r == nil || !strings.Contains(fmt.Sprint(r), "callback panicked: boom-boot") {
+		t.Fatalf("bootstrap-hosted callback panic = %v, want callback panicked", r)
+	}
+
+	// Parked-proc-hosted: "innocent" is asleep when the callback fires on
+	// its goroutine; the panic must not be attributed to it.
+	r = capture(func(e *Engine) {
+		e.Spawn("innocent", 0, func(p *Proc) { p.Sleep(100 * Nanosecond) })
+		e.At(5*Nanosecond, func() { panic("boom-parked") })
+	})
+	if r == nil || !strings.Contains(fmt.Sprint(r), "callback panicked: boom-parked") {
+		t.Fatalf("parked-proc-hosted callback panic = %v, want callback panicked", r)
+	}
+	if strings.Contains(fmt.Sprint(r), "innocent") {
+		t.Fatalf("callback panic misattributed to the parked proc: %v", r)
+	}
+
+	// Dying-proc-hosted: the proc exits first, its goroutine carries the
+	// loop into the panicking callback.
+	r = capture(func(e *Engine) {
+		e.Spawn("short", 0, func(p *Proc) {})
+		e.At(5*Nanosecond, func() { panic("boom-exit") })
+	})
+	if r == nil || !strings.Contains(fmt.Sprint(r), "callback panicked: boom-exit") {
+		t.Fatalf("dying-proc-hosted callback panic = %v, want callback panicked", r)
+	}
 }
 
 func TestRandDeterminism(t *testing.T) {

@@ -94,13 +94,13 @@ func TestHeapCompactionPreservesOrder(t *testing.T) {
 			case rng.Intn(2) == 0:
 				// Live callback event, mirrored into the reference.
 				at := e.now + Time(rng.Intn(16))
-				e.push(at, nil, 0, nil, func() {})
+				e.push(at, nil, 0, payload{}, func() {})
 				ref.push(event{at: at, seq: e.seq})
 			default:
 				// Permanently stale wakeup: generation 0 while the proc
 				// is on generation 1. Counted stale at push, compacted
 				// away once it dominates the heap.
-				e.push(e.now+Time(rng.Intn(16)), staleProc, 0, nil, nil)
+				e.push(e.now+Time(rng.Intn(16)), staleProc, 0, payload{}, nil)
 			}
 			// Pruning invariant: a push (the only point maybeCompact
 			// runs) must leave stale entries at no more than half of a
@@ -120,14 +120,14 @@ func TestHeapCompactionPreservesOrder(t *testing.T) {
 // pop must zero the vacated slot.
 func TestHeapPopReleasesSlots(t *testing.T) {
 	var q eventQueue
-	data := "payload"
+	data := boxPayload("payload")
 	q.push(event{at: 1, seq: 1, data: data})
 	q.push(event{at: 2, seq: 2, data: data})
 	q.pop()
 	q.pop()
 	for i := range q.ev[:cap(q.ev)] {
 		slot := q.ev[:cap(q.ev)][i]
-		if slot.data != nil || slot.proc != nil || slot.fn != nil {
+		if slot.data.boxed != nil || slot.data.kind != payNil || slot.proc != nil || slot.fn != nil {
 			t.Fatalf("pooled slot %d still holds references: %+v", i, slot)
 		}
 	}

@@ -1,0 +1,148 @@
+package sim
+
+import "testing"
+
+// TestWaiterValidSpentAfterDelivery is the regression test for the
+// Valid/push staleness disagreement: after a waiter's wakeup has been
+// delivered, the proc's generation is unchanged until its next
+// PrepareWait/Sleep, and the old `gen == p.gen` test wrongly reported the
+// spent waiter as still valid even though push would classify a Wake on
+// it as stale at birth.
+func TestWaiterValidSpentAfterDelivery(t *testing.T) {
+	e := NewEngine(1)
+	var before, after, reused bool
+	e.Spawn("sleeper", 0, func(p *Proc) {
+		w := p.PrepareWait()
+		e.At(5*Nanosecond, func() {
+			before = w.Valid()
+			w.Wake(0, nil)
+		})
+		p.Wait()
+		// Delivered, generation not yet bumped: the waiter is spent.
+		after = w.Valid()
+		// Firing the spent waiter must be a no-op, not a second wakeup.
+		w.Wake(0, "ghost")
+		p.Sleep(10 * Nanosecond)
+		reused = w.Valid()
+	})
+	e.Run()
+	if !before {
+		t.Fatal("Valid() = false while armed, want true")
+	}
+	if after {
+		t.Fatal("Valid() = true after its wakeup was delivered, want false")
+	}
+	if reused {
+		t.Fatal("Valid() = true after the proc moved to a new generation")
+	}
+	if e.Live() != 0 {
+		t.Fatalf("Live() = %d, want 0 (ghost wake resumed the proc?)", e.Live())
+	}
+}
+
+// TestWaiterValidAgreesWithPush cross-checks Valid against the engine's
+// push classification across the waiter lifecycle: whenever Valid reports
+// false, a Wake must land as a stale event (PendingLive unchanged).
+func TestWaiterValidAgreesWithPush(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("p", 0, func(p *Proc) {
+		w := p.PrepareWait()
+		e.At(Nanosecond, func() { w.Wake(0, nil) })
+		p.Wait()
+		if w.Valid() {
+			t.Error("spent waiter reads valid")
+		}
+		liveBefore := e.PendingLive()
+		w.Wake(0, nil)
+		if got := e.PendingLive(); got != liveBefore {
+			t.Errorf("Wake on spent waiter changed PendingLive: %d -> %d", liveBefore, got)
+		}
+	})
+	e.Run()
+}
+
+// TestU64FastLane: a uint64 payload sent with the typed wake entry points
+// round-trips unboxed and is observable through both the typed and the
+// generic receive paths.
+func TestU64FastLane(t *testing.T) {
+	e := NewEngine(1)
+	var q WaitQueue
+	var typedV uint64
+	var typedOK bool
+	var generic any
+	e.Spawn("typed", 0, func(p *Proc) {
+		typedV, typedOK = q.WaitU64(p)
+	})
+	e.Spawn("generic", 0, func(p *Proc) {
+		generic = q.Wait(p)
+	})
+	e.Spawn("waker", Nanosecond, func(p *Proc) {
+		q.WakeOneU64(0, 0xfeedface)
+		q.WakeOneU64(0, 42)
+	})
+	e.Run()
+	if !typedOK || typedV != 0xfeedface {
+		t.Fatalf("WaitU64 = (%#x, %v), want (0xfeedface, true)", typedV, typedOK)
+	}
+	if v, ok := generic.(uint64); !ok || v != 42 {
+		t.Fatalf("generic Wait saw %v (%T), want uint64 42", generic, generic)
+	}
+}
+
+// TestU64FastLaneMismatch: WaitU64 under a waker that delivers nil or a
+// boxed value reports ok=false rather than a bogus word.
+func TestU64FastLaneMismatch(t *testing.T) {
+	e := NewEngine(1)
+	var q WaitQueue
+	var ok1, ok2 bool
+	e.Spawn("a", 0, func(p *Proc) {
+		_, ok1 = q.WaitU64(p)
+	})
+	e.Spawn("b", 0, func(p *Proc) {
+		_, ok2 = q.WaitU64(p)
+	})
+	e.Spawn("waker", Nanosecond, func(p *Proc) {
+		q.WakeOne(0, nil)
+		q.WakeOne(0, "boxed")
+	})
+	e.Run()
+	if ok1 || ok2 {
+		t.Fatalf("WaitU64 ok = (%v, %v) for nil/boxed payloads, want false/false", ok1, ok2)
+	}
+}
+
+// TestWaiterWakeU64 covers the raw Waiter entry point of the fast lane.
+func TestWaiterWakeU64(t *testing.T) {
+	e := NewEngine(1)
+	var got uint64
+	var ok bool
+	e.Spawn("p", 0, func(p *Proc) {
+		w := p.PrepareWait()
+		e.At(3*Nanosecond, func() { w.WakeU64(0, 7) })
+		got, ok = p.WaitU64()
+	})
+	e.Run()
+	if !ok || got != 7 {
+		t.Fatalf("WaitU64 = (%d, %v), want (7, true)", got, ok)
+	}
+}
+
+// TestTimeoutValueRoundTrip: the exported timeout payload is recognized
+// by TimedOut after a full trip through a Waiter wake — the contract the
+// kernel's BlockTimeout relies on.
+func TestTimeoutValueRoundTrip(t *testing.T) {
+	if !TimedOut(TimeoutValue()) {
+		t.Fatal("TimedOut(TimeoutValue()) = false")
+	}
+	e := NewEngine(1)
+	var got any
+	e.Spawn("p", 0, func(p *Proc) {
+		w := p.PrepareWait()
+		e.At(Nanosecond, func() { w.Wake(0, TimeoutValue()) })
+		got = p.Wait()
+	})
+	e.Run()
+	if !TimedOut(got) {
+		t.Fatalf("payload %v (%T) not recognized by TimedOut after round trip", got, got)
+	}
+}

@@ -9,7 +9,7 @@ package sim
 type Proc struct {
 	eng       *Engine
 	name      string
-	resume    chan any // park/dispatch handoff; carries the wake payload
+	resume    chan payload // park/dispatch handoff; carries the wake payload
 	gen       uint64
 	delivered uint64 // highest generation whose wakeup was dispatched
 	queued    int    // live events in the engine heap for the current gen
@@ -31,9 +31,16 @@ func (p *Proc) Engine() *Engine { return p.eng }
 func (p *Proc) Now() Time { return p.eng.now }
 
 // park suspends the proc until the engine delivers a wakeup for the
-// current generation, and returns the delivered data.
-func (p *Proc) park() any {
-	p.eng.yield <- struct{}{}
+// current generation. It first carries the engine loop forward on this
+// very goroutine (direct handoff): either the next event wakes this proc
+// — control never moves and the payload comes back with zero channel
+// operations — or the payload is handed straight to whoever runs next and
+// this goroutine blocks until its own turn comes around.
+func (p *Proc) park() payload {
+	pl, r := p.eng.schedule(p, false)
+	if r == schedSelf {
+		return pl
+	}
 	return <-p.resume
 }
 
@@ -43,7 +50,7 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	p.eng.bumpGen(p)
-	p.eng.push(p.eng.now+d, p, p.gen, nil, nil)
+	p.eng.push(p.eng.now+d, p, p.gen, payload{}, nil)
 	p.park()
 }
 
@@ -66,23 +73,47 @@ func (p *Proc) PrepareWait() Waiter {
 // Wait parks until the Waiter from the preceding PrepareWait is fired,
 // returning the data passed to Wake.
 func (p *Proc) Wait() any {
-	return p.park()
+	return p.park().value()
+}
+
+// WaitU64 is Wait for wakers on the unboxed uint64 lane (WakeU64,
+// WaitQueue.WakeOneU64): the word round-trips through the event heap and
+// the resume channel without interface boxing on either side. ok reports
+// whether the wake actually carried a uint64 payload.
+func (p *Proc) WaitU64() (v uint64, ok bool) {
+	pl := p.park()
+	return pl.u64, pl.kind == payU64
 }
 
 // Proc returns the proc this waiter will wake.
 func (w Waiter) Proc() *Proc { return w.p }
 
-// Valid reports whether the waiter could still deliver a wakeup.
+// Valid reports whether the waiter could still deliver a wakeup: its proc
+// is live, still on the waiter's generation, and that generation's wakeup
+// has not already been dispatched. The delivered-watermark test matches
+// push's staleness classification — after a wakeup is delivered the
+// generation stays current until the proc's next PrepareWait/Sleep, and a
+// Waiter for it must read as spent, not valid.
 func (w Waiter) Valid() bool {
-	return w.p != nil && !w.p.finished && w.gen == w.p.gen
+	return w.p != nil && !w.p.finished && w.gen == w.p.gen && w.gen > w.p.delivered
 }
 
 // Wake schedules the waiter's Proc to resume after delay d, delivering
 // data from its Wait call. Firing a stale Waiter is harmless: the engine
 // classifies the event as stale at push time and never delivers it.
 func (w Waiter) Wake(d Time, data any) {
+	w.wake(d, boxPayload(data))
+}
+
+// WakeU64 is Wake with an unboxed uint64 payload (fast lane; pair with
+// WaitU64 to stay unboxed end to end).
+func (w Waiter) WakeU64(d Time, v uint64) {
+	w.wake(d, payload{kind: payU64, u64: v})
+}
+
+func (w Waiter) wake(d Time, pl payload) {
 	if w.p == nil {
 		return
 	}
-	w.p.eng.push(w.p.eng.now+d, w.p, w.gen, data, nil)
+	w.p.eng.push(w.p.eng.now+d, w.p, w.gen, pl, nil)
 }

@@ -23,7 +23,8 @@ type WaitQueue struct {
 // timeout; callers that care use WakeOne's return value instead).
 func (q *WaitQueue) Len() int { return q.n - q.dead }
 
-// timeoutMark distinguishes a timer wakeup from a genuine WakeOne.
+// timeoutMark distinguishes a timer wakeup from a genuine WakeOne. It
+// travels through the event queue as the unboxed payTimeout lane.
 type timeoutMark struct{}
 
 // TimedOut reports whether a value returned by Wait/WaitTimeout came from
@@ -33,6 +34,12 @@ func TimedOut(v any) bool {
 	return ok
 }
 
+// TimeoutValue returns the canonical timeout payload. Layers that build
+// their own timed blocks on top of raw Waiter wakes (the kernel's
+// BlockTimeout) deliver it so that TimedOut recognizes the wake and the
+// payload fast lane carries it unboxed end to end.
+func TimeoutValue() any { return timeoutMark{} }
+
 // Wait parks p on the queue until a WakeOne/WakeAll delivers it, and
 // returns the data passed by the waker.
 func (q *WaitQueue) Wait(p *Proc) any {
@@ -41,18 +48,26 @@ func (q *WaitQueue) Wait(p *Proc) any {
 	return p.Wait()
 }
 
+// WaitU64 is Wait on the unboxed uint64 lane; pair with WakeOneU64. ok
+// reports whether the wake carried a uint64 payload.
+func (q *WaitQueue) WaitU64(p *Proc) (uint64, bool) {
+	w := p.PrepareWait()
+	q.pushBack(w)
+	return p.WaitU64()
+}
+
 // WaitTimeout parks p for at most d. The boolean result is false if the
 // wait timed out, in which case p has been removed from the queue.
 func (q *WaitQueue) WaitTimeout(p *Proc, d Time) (any, bool) {
 	w := p.PrepareWait()
 	q.pushBack(w)
-	w.Wake(d, timeoutMark{})
-	v := p.Wait()
-	if TimedOut(v) {
+	w.wake(d, payload{kind: payTimeout})
+	pl := p.park()
+	if pl.kind == payTimeout {
 		q.remove(w)
 		return nil, false
 	}
-	return v, true
+	return pl.value(), true
 }
 
 func (q *WaitQueue) pushBack(w Waiter) {
@@ -112,6 +127,16 @@ func (q *WaitQueue) trim() {
 // WakeOne wakes the oldest still-valid waiter after delay d, delivering
 // data. It reports whether a waiter was woken.
 func (q *WaitQueue) WakeOne(d Time, data any) bool {
+	return q.wakeOne(d, boxPayload(data))
+}
+
+// WakeOneU64 is WakeOne with an unboxed uint64 payload (fast lane; pair
+// with WaitU64).
+func (q *WaitQueue) WakeOneU64(d Time, v uint64) bool {
+	return q.wakeOne(d, payload{kind: payU64, u64: v})
+}
+
+func (q *WaitQueue) wakeOne(d Time, pl payload) bool {
 	mask := len(q.buf) - 1
 	for q.n > 0 {
 		w := q.buf[q.head]
@@ -123,7 +148,7 @@ func (q *WaitQueue) WakeOne(d Time, data any) bool {
 			continue
 		}
 		if w.Valid() {
-			w.Wake(d, data)
+			w.wake(d, pl)
 			return true
 		}
 	}
@@ -133,6 +158,7 @@ func (q *WaitQueue) WakeOne(d Time, data any) bool {
 // WakeAll wakes every valid waiter after delay d and returns how many were
 // woken.
 func (q *WaitQueue) WakeAll(d Time, data any) int {
+	pl := boxPayload(data)
 	mask := len(q.buf) - 1
 	woken := 0
 	for i := 0; i < q.n; i++ {
@@ -140,7 +166,7 @@ func (q *WaitQueue) WakeAll(d Time, data any) int {
 		w := q.buf[idx]
 		q.buf[idx] = Waiter{}
 		if w.Valid() {
-			w.Wake(d, data)
+			w.wake(d, pl)
 			woken++
 		}
 	}
