@@ -5,8 +5,8 @@
 //	dipcbench list
 //	dipcbench run <scenario> [-p key=value ...] [-json path]
 //	dipcbench [-window ms] [-full] bench [-runs n] [-warmup n]
-//	          [-compare baseline.json] [-regress pct] [-json path]
-//	          [scenario ...]
+//	          [-compare baseline.json] [-regress pct] [-gate names]
+//	          [-json path] [scenario ...]
 //	dipcbench [-window ms] [-full] [-parallel n] [-benchjson path]
 //	          [-cpuprofile path] [-memprofile path] [experiment ...]
 //
@@ -289,11 +289,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 
 // cmdBench times the selected scenarios under a multi-run wall clock and
 // optionally diffs them against a committed baseline report. It is the
-// perf-regression harness: CI's non-blocking perf-smoke job runs
-// `bench -compare BENCH_engine.json` and annotates the log when a
-// scenario regresses past the threshold. Comparison and regression
-// flagging never change the exit code — wall-clock noise on shared
-// runners must not gate merges.
+// perf-regression harness: CI's perf-smoke job runs
+// `bench -compare BENCH_engine.json -gate crosscall,crosscalldeep`.
+// Plain regression flagging never changes the exit code — wall-clock
+// noise on shared runners must not gate merges on whole figures — but
+// a scenario named in -gate fails the run (exit 1) when it regresses
+// more than -regress percentage points *beyond the suite's median
+// delta*: a slower host shifts every scenario together and cancels out
+// of the relative comparison, while a genuine hot-path regression
+// moves only its own scenarios.
 func cmdBench(reg *scenario.Registry, argv []string,
 	globalOverrides func(scenario.Scenario) map[string]string,
 	full bool, windowMs float64, stdout, stderr io.Writer) int {
@@ -304,6 +308,7 @@ func cmdBench(reg *scenario.Registry, argv []string,
 	warmup := sub.Int("warmup", 1, "unmeasured warmup runs per scenario")
 	compare := sub.String("compare", "", "baseline BENCH_*.json to diff against")
 	regress := sub.Float64("regress", 25, "flag scenarios slower than baseline by more than this percent")
+	gate := sub.String("gate", "", "comma-separated scenarios whose regression fails the run (exit 1); judged relative to the suite's median delta so host-speed drift cancels")
 	jsonPath := sub.String("json", "", "write the dipc-bench/v3 report to this path")
 	if err := sub.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -387,6 +392,19 @@ func cmdBench(reg *scenario.Registry, argv []string,
 		}
 	}
 
+	gated := map[string]bool{}
+	if *gate != "" {
+		if baseline == nil {
+			fmt.Fprintf(stderr, "-gate requires -compare: a gate without a baseline cannot gate anything\n")
+			return 2
+		}
+		for _, name := range strings.Split(*gate, ",") {
+			if name = strings.TrimSpace(strings.ToLower(name)); name != "" {
+				gated[name] = true
+			}
+		}
+	}
+	gateFailures := 0
 	if baseline == nil {
 		fmt.Fprintf(stdout, "%-14s %5s %12s %12s\n", "scenario", "runs", "min", "median")
 		for _, e := range report.Results {
@@ -395,8 +413,25 @@ func cmdBench(reg *scenario.Registry, argv []string,
 		}
 	} else {
 		regressions := 0
+		deltas := experiments.CompareReports(baseline, report)
+		median := experiments.MedianPct(deltas)
+		// A gated scenario that was not actually compared (renamed,
+		// dropped from the baseline, typo'd) must fail loudly: a gate
+		// that silently matches nothing has stopped gating.
+		compared := map[string]bool{}
+		for _, d := range deltas {
+			if d.Comparable() {
+				compared[d.Name] = true
+			}
+		}
+		for name := range gated {
+			if !compared[name] {
+				fmt.Fprintf(stderr, "gated scenario %q was not compared (missing from the run or the baseline)\n", name)
+				gateFailures++
+			}
+		}
 		fmt.Fprintf(stdout, "%-14s %12s %12s %9s\n", "scenario", "baseline", "median", "delta")
-		for _, d := range experiments.CompareReports(baseline, report) {
+		for _, d := range deltas {
 			switch {
 			case d.CurNs == 0:
 				fmt.Fprintf(stdout, "%-14s %12s %12s %9s\n",
@@ -410,6 +445,10 @@ func cmdBench(reg *scenario.Registry, argv []string,
 					mark = "  !! regression"
 					regressions++
 				}
+				if gated[d.Name] && d.RegressedRelative(median, *regress) {
+					mark += "  !! gated"
+					gateFailures++
+				}
 				fmt.Fprintf(stdout, "%-14s %12s %12s %+8.1f%%%s\n",
 					d.Name, experiments.FmtNs(d.BaseNs), experiments.FmtNs(d.CurNs), d.Pct, mark)
 			}
@@ -420,6 +459,15 @@ func cmdBench(reg *scenario.Registry, argv []string,
 		} else {
 			fmt.Fprintf(stdout, "no scenario regressed more than %.0f%% vs %s\n", *regress, *compare)
 		}
+		if len(gated) > 0 {
+			if gateFailures > 0 {
+				fmt.Fprintf(stdout, "GATE FAILED: %d gated scenario(s) regressed more than %.0f%% beyond the suite median (%+.1f%%)\n",
+					gateFailures, *regress, median)
+			} else {
+				fmt.Fprintf(stdout, "gate ok: no gated scenario regressed more than %.0f%% beyond the suite median (%+.1f%%)\n",
+					*regress, median)
+			}
+		}
 	}
 
 	if *jsonPath != "" {
@@ -428,6 +476,9 @@ func cmdBench(reg *scenario.Registry, argv []string,
 			return 1
 		}
 		fmt.Fprintf(stderr, "wrote benchmark report: %s\n", *jsonPath)
+	}
+	if gateFailures > 0 {
+		return 1
 	}
 	return 0
 }

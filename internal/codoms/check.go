@@ -86,6 +86,19 @@ func (ctx *ThreadCtx) SetIP(va mem.Addr) {
 // IP returns the current instruction pointer.
 func (ctx *ThreadCtx) IP() mem.Addr { return ctx.ip }
 
+// SetIPInDomain moves the instruction pointer and primes the cached
+// subject domain with a tag the caller already knows. It is the
+// privileged-proxy fast path: dIPC proxies record the caller's domain
+// when a call enters and reinstate it on return, skipping the page-table
+// walk SetIP would otherwise force. Callers must guard the primed tag
+// with the page table's generation (mem.PageTable.Gen) — priming a tag
+// the table no longer carries would corrupt subsequent checks.
+func (ctx *ThreadCtx) SetIPInDomain(va mem.Addr, tag Tag) {
+	ctx.ip = va
+	ctx.ipDomain = tag
+	ctx.ipValid = true
+}
+
 // CodeDomain returns the domain of the currently executing instruction,
 // the subject of every CODOMs check.
 func (ctx *ThreadCtx) CodeDomain(pt *mem.PageTable) Tag {
@@ -243,6 +256,106 @@ func (s *System) Call(ctx *ThreadCtx, pt *mem.PageTable, target mem.Addr) error 
 		return err
 	}
 	ctx.SetIP(target)
+	return nil
+}
+
+// CallVerdict memoizes one successful CheckCall outcome for a fixed
+// (subject domain, target address) pair. dIPC stores one per hop of a
+// proxy's call sequence inside the proxy's precompiled call descriptor,
+// so a steady-state cross-domain call performs no page-table walks and
+// no APL probes — everything expensive was resolved the first time.
+//
+// The verdict is sound while nothing it depended on can have changed:
+// the APLs (System.Epoch) and the page table (mem.PageTable.Gen) are
+// revalidated on every use, and the subject must match the domain the
+// verdict was recorded under. A success that was authorized by a
+// capability register is only safely replayed if the caller
+// re-establishes an equivalent capability before each use — dIPC's
+// proxy does exactly that with its minted return capability, which is
+// installed earlier in the same call.
+type CallVerdict struct {
+	subject Tag
+	target  mem.Addr
+	tag     Tag // target page's domain tag
+	cross   bool
+	viaCap  bool // authorized by a capability register, not self/APL
+	epoch   uint64
+	ptGen   uint64
+	valid   bool
+}
+
+// capAuthorizesCall reports whether some valid capability register of
+// ctx authorizes a control transfer to target — the same test as
+// CheckCall's register fallback.
+func (s *System) capAuthorizesCall(ctx *ThreadCtx, target mem.Addr) bool {
+	for i := range ctx.CapRegs {
+		c := ctx.CapRegs[i]
+		if !c.ValidFor(ctx) {
+			continue
+		}
+		if c.Covers(target, 1, PermRead) {
+			return true
+		}
+		if c.Covers(target, 1, PermCall) && target%s.EntryAlign == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CallCached is Call through a verdict cache: a hit charges the same
+// check statistics and moves the instruction pointer (priming the
+// subject-domain cache with the recorded target tag); a miss runs the
+// full CheckCall and records the outcome. A verdict whose success came
+// from a capability register (viaCap) additionally re-verifies, on
+// every hit, that some currently-valid register still authorizes the
+// transfer — capability state is per-call, not epoch-guarded.
+func (s *System) CallCached(ctx *ThreadCtx, pt *mem.PageTable, target mem.Addr, v *CallVerdict) error {
+	if v.valid && v.target == target && v.epoch == s.epoch && v.ptGen == pt.Gen() &&
+		ctx.ipValid && ctx.ipDomain == v.subject &&
+		(!v.viaCap || s.capAuthorizesCall(ctx, target)) {
+		s.checks++
+		if v.cross {
+			s.crossChecks++
+		}
+		ctx.SetIPInDomain(target, v.tag)
+		return nil
+	}
+	subject := ctx.CodeDomain(pt)
+	if err := s.CheckCall(ctx, pt, target); err != nil {
+		v.valid = false
+		return err
+	}
+	pi, _ := pt.Lookup(target)
+	perm := s.APLPerm(subject, pi.Tag)
+	viaAPL := perm >= PermRead || (perm == PermCall && target%s.EntryAlign == 0)
+	*v = CallVerdict{subject: subject, target: target, tag: pi.Tag,
+		cross: pi.Tag != subject, viaCap: pi.Tag != subject && !viaAPL,
+		epoch: s.epoch, ptGen: pt.Gen(), valid: true}
+	ctx.SetIPInDomain(target, pi.Tag)
+	return nil
+}
+
+// PrivVerdict memoizes a successful CheckPriv at a fixed instruction
+// address, keyed on the page table's generation.
+type PrivVerdict struct {
+	ip    mem.Addr
+	ptGen uint64
+	valid bool
+}
+
+// CheckPrivCached is CheckPriv through a verdict cache; hits charge the
+// same check statistics without walking the page table.
+func (s *System) CheckPrivCached(ctx *ThreadCtx, pt *mem.PageTable, v *PrivVerdict) error {
+	if v.valid && v.ip == ctx.ip && v.ptGen == pt.Gen() {
+		s.checks++
+		return nil
+	}
+	if err := s.CheckPriv(ctx, pt); err != nil {
+		v.valid = false
+		return err
+	}
+	*v = PrivVerdict{ip: ctx.ip, ptGen: pt.Gen(), valid: true}
 	return nil
 }
 

@@ -12,6 +12,14 @@ type DCS struct {
 	base  int // lowest index visible to the current domain
 	top   int // next free slot
 	limit int
+
+	// Recycling pools for SwitchTo/RestoreFrom (DCS conf.+integrity runs
+	// one switch per proxied call): returned callee stacks are zeroed and
+	// reused instead of reallocated, and restore tokens are pooled, so a
+	// steady-state High-policy call chain allocates nothing here. Both
+	// pools are bounded by the maximum switch nesting depth.
+	spares [][]Capability
+	tokens []*dcsState
 }
 
 // NewDCS returns a capability stack with room for limit entries.
@@ -83,35 +91,64 @@ func (d *DCS) SwitchTo(nargs int) (restore any, err error) {
 	if nargs < 0 || nargs > d.Depth() {
 		return nil, fmt.Errorf("codoms: DCS switch with %d args, have %d visible", nargs, d.Depth())
 	}
+	var tok *dcsState
+	if n := len(d.tokens); n > 0 {
+		tok = d.tokens[n-1]
+		d.tokens = d.tokens[:n-1]
+	} else {
+		tok = new(dcsState)
+	}
 	// The argument entries move to the callee's stack: they are consumed
 	// from the caller's, exactly as a callee popping them from a shared
 	// stack would.
-	saved := dcsState{slots: d.slots, base: d.base, top: d.top - nargs}
-	fresh := make([]Capability, d.limit)
+	*tok = dcsState{slots: d.slots, base: d.base, top: d.top - nargs}
+	var fresh []Capability
+	if n := len(d.spares); n > 0 {
+		fresh = d.spares[n-1]
+		d.spares = d.spares[:n-1]
+	} else {
+		fresh = make([]Capability, d.limit)
+	}
 	copy(fresh, d.slots[d.top-nargs:d.top])
 	d.slots = fresh
 	d.base = 0
 	d.top = nargs
-	return saved, nil
+	return tok, nil
 }
 
 // RestoreFrom reinstates the stack saved by SwitchTo, copying back the
-// nres topmost entries of the callee's stack as results.
+// nres topmost entries of the callee's stack as results. The callee's
+// stack and the token are recycled for the next SwitchTo.
 func (d *DCS) RestoreFrom(restore any, nres int) error {
-	saved, ok := restore.(dcsState)
+	tok, ok := restore.(*dcsState)
 	if !ok {
 		return fmt.Errorf("codoms: bad DCS restore token")
 	}
 	if nres < 0 || nres > d.Depth() {
 		return fmt.Errorf("codoms: DCS restore with %d results, have %d", nres, d.Depth())
 	}
-	results := make([]Capability, nres)
-	copy(results, d.slots[d.top-nres:d.top])
-	d.slots, d.base, d.top = saved.slots, saved.base, saved.top
-	for _, c := range results {
-		if err := d.Push(c); err != nil {
+	callee, calleeTop := d.slots, d.top
+	// A re-restore of a token whose first restore failed mid-copy (Push
+	// overflow followed by fault unwinding) arrives with the token
+	// aliasing the active stack; the "callee" is then the caller's live
+	// array and must not be zeroed or pooled.
+	aliased := &callee[0] == &tok.slots[0]
+	d.slots, d.base, d.top = tok.slots, tok.base, tok.top
+	for i := calleeTop - nres; i < calleeTop; i++ {
+		if err := d.Push(callee[i]); err != nil {
+			// Token stays live: fault unwinding re-restores through it.
 			return err
 		}
+	}
+	*tok = dcsState{}
+	d.tokens = append(d.tokens, tok)
+	// Zero the used region (slots above the watermark were already
+	// zeroed by Pop) and keep the stack as a spare.
+	if !aliased && len(callee) == d.limit {
+		for i := 0; i < calleeTop; i++ {
+			callee[i] = Capability{}
+		}
+		d.spares = append(d.spares, callee)
 	}
 	return nil
 }

@@ -85,7 +85,17 @@ type System struct {
 	// crossChecks counts checks that had to leave the subject domain
 	// (APL or capability), i.e. genuine cross-domain accesses.
 	crossChecks uint64
+	// epoch is bumped on every APL edit; precompiled call verdicts and
+	// cached capabilities key on it (see Epoch).
+	epoch uint64
 }
+
+// Epoch returns the APL mutation generation: it changes whenever any
+// domain's APL changes (grant or revocation). dIPC's precompiled call
+// descriptors and cached return capabilities key on it, so revoking a
+// grant invalidates every ahead-of-time verdict that may have depended
+// on it without a broadcast.
+func (s *System) Epoch() uint64 { return s.epoch }
 
 // NewSystem returns an empty CODOMs configuration.
 func NewSystem() *System {
@@ -119,6 +129,7 @@ func (s *System) Grant(src, dst Tag, perm Perm) error {
 	if _, ok := s.domains[dst]; !ok {
 		return fmt.Errorf("codoms: grant to unknown domain %d", dst)
 	}
+	s.epoch++
 	if perm == PermNil {
 		delete(d.apl, dst)
 		return nil

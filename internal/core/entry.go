@@ -205,6 +205,7 @@ func (rt *Runtime) EntryRequest(t *kernel.Thread, eh *EntryHandle, descs []Entry
 				calleeProc: eh.proc,
 				cross:      cross,
 			}
+			px.compile()
 			imports = append(imports, &ImportedEntry{Name: eh.entries[i].desc.Name, proxy: px})
 		}
 		domP = DomainHandle{rt: rt, tag: pd.Tag, perm: PermCall}

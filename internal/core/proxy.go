@@ -14,6 +14,47 @@ import (
 // capability it mints in prepare_ret (P3).
 const retCapReg = codoms.NumCapRegs - 1
 
+// DCS handling modes baked into the call descriptor (§5.2.3).
+const (
+	dcsNone = iota
+	dcsInteg
+	dcsConf
+)
+
+// callDesc is a proxy's precompiled call descriptor: everything the
+// per-call path can resolve ahead of time, folded flat at proxy
+// instantiation so that invoke is straight-line code. This mirrors the
+// paper's run-time specialization (§6.1.1) one level further down — the
+// template is specialized not just in code shape but in the exact cost
+// sums, branch decisions and check verdicts the call will need.
+type callDesc struct {
+	// Isolation-stub and proxy policy costs, pre-summed from the merged
+	// policy flags (the former stubEnter/stubExit/branch chains).
+	callerEnter sim.Time
+	callerExit  sim.Time
+	calleeEnter sim.Time
+	calleeExit  sim.Time
+	enter       sim.Time // prepare_ret + policy enter (charged to BlockProxy)
+	exit        sim.Time // deprepare_ret + policy exit (charged to BlockProxy)
+	stubBlock   stats.Block
+	dcsMode     uint8
+	capArgs     int
+	capRets     int
+
+	// deadErr is the preconstructed dead-callee error: the message only
+	// depends on the callee process, so the hot path never calls
+	// fmt.Errorf.
+	deadErr error
+
+	// Memoized architectural check verdicts for the proxy's three control
+	// transfers and its privileged-instruction check. Each revalidates
+	// against the APL epoch and page-table generation on use.
+	callIn    codoms.CallVerdict // caller code -> proxy entry point
+	priv      codoms.PrivVerdict // privileged-capability check at the proxy
+	callEntry codoms.CallVerdict // proxy -> target entry point
+	callRet   codoms.CallVerdict // callee -> proxy_ret (via the minted capability)
+}
+
 // Proxy is one run-time-generated trusted code thunk bridging calls from
 // a caller domain into one entry point of a callee domain (Fig. 3,
 // domain P). Its code pages carry the CODOMs privileged-capability bit,
@@ -31,6 +72,7 @@ type Proxy struct {
 	callerProc *kernel.Process
 	calleeProc *kernel.Process
 	cross      bool
+	desc       callDesc
 }
 
 // Template returns the template this proxy was specialized from.
@@ -92,6 +134,62 @@ func (px *Proxy) stubBlock() stats.Block {
 	return stats.BlockStub
 }
 
+// compile folds the policy-flag branches and cost arithmetic of the call
+// path into the proxy's descriptor. It runs once, at entry_request time,
+// against the runtime configuration (FoldStubs, cost model) in force
+// then — exactly when the paper's prototype specializes the proxy code.
+func (px *Proxy) compile() {
+	p := px.rt.M.P
+	d := &px.desc
+	d.callerEnter = px.stubEnter(px.mp.callerStub)
+	d.callerExit = px.stubExit(px.mp.callerStub)
+	d.calleeEnter = px.stubEnter(px.mp.calleeStub)
+	d.calleeExit = px.stubExit(px.mp.calleeStub)
+	d.stubBlock = px.stubBlock()
+	enter := p.StackCheck + p.KCSPush + p.APLCacheLookup + p.CapCreate
+	exit := p.KCSPop
+	if px.mp.proxy.Has(StackConfIntegrity) {
+		// isolate_pcall: stack switch plus the by-signature copies.
+		enter += p.StackSwitch + p.Copy(px.sig.StackBytes)
+		exit += p.StackSwitch + p.Copy(px.sig.StackRet)
+	}
+	switch {
+	case px.mp.proxy.Has(DCSConfIntegrity):
+		d.dcsMode = dcsConf
+		enter += p.DCSSwitch + sim.Time(px.sig.CapArgs)*p.CapLoadStore
+		exit += p.DCSSwitch + sim.Time(px.sig.CapRets)*p.CapLoadStore
+	case px.mp.proxy.Has(DCSIntegrity):
+		d.dcsMode = dcsInteg
+		enter += p.DCSAdjust
+		exit += p.DCSAdjust
+	}
+	d.enter, d.exit = enter, exit
+	d.capArgs, d.capRets = px.sig.CapArgs, px.sig.CapRets
+	d.deadErr = fmt.Errorf("dipc: callee process %q is dead", px.calleeProc.Name)
+}
+
+// returnCap returns the P3 return capability for this proxy on the
+// calling thread, minting it on first use and reusing the cached value
+// while nothing it was derived from (the APLs, the page table) has
+// changed. The simulated CapCreate cost is part of desc.enter — the
+// cache only avoids re-deriving a bit-identical value on the host.
+func (px *Proxy) returnCap(ts *threadState, hw *codoms.ThreadCtx) (codoms.Capability, error) {
+	arch, pt := px.rt.M.Arch, px.rt.PT
+	if rc, ok := ts.retCaps[px]; ok && rc.epoch == arch.Epoch() && rc.ptGen == pt.Gen() {
+		return rc.cap, nil
+	}
+	c, err := arch.NewFromAPL(hw, pt, px.domTag, px.retAddr,
+		int(arch.EntryAlign), codoms.PermCall, codoms.CapSync, nil)
+	if err != nil {
+		return codoms.Capability{}, err
+	}
+	if ts.retCaps == nil {
+		ts.retCaps = make(map[*Proxy]retCapEntry)
+	}
+	ts.retCaps[px] = retCapEntry{cap: c, epoch: arch.Epoch(), ptGen: pt.Gen()}
+	return c, nil
+}
+
 // Call bridges one synchronous call through the proxy: Fig. 3 steps
 // 1–3 plus the return path. It performs the real CODOMs checks (the
 // caller needs call permission to the proxy domain; the callee returns
@@ -110,70 +208,78 @@ func (px *Proxy) invoke(t *kernel.Thread, in *Args) (out *Args, err error) {
 	p := rt.M.P
 	hw := t.HW
 	ts := state(t)
+	d := &px.desc
 	if px.calleeProc.Dead {
-		return nil, fmt.Errorf("dipc: callee process %q is dead", px.calleeProc.Name)
+		return nil, d.deadErr
 	}
 	if in == nil {
+		// Fresh value, not a shared zero: entries may legitimately echo
+		// their input as the result, which the caller then owns and may
+		// mutate. Nil-arg calls are off the measured hot paths.
 		in = &Args{}
 	}
 	rt.crossCalls++
 
 	// ---- caller stub: isolate_call ----
-	t.Exec(px.stubEnter(px.mp.callerStub), px.stubBlock())
+	t.Exec(d.callerEnter, d.stubBlock)
 
 	// ---- architectural call into the proxy (P2: needs call permission
 	// to the proxy domain, lands only on the aligned entry) ----
 	callerIP := hw.IP()
-	if cerr := rt.M.Arch.Call(hw, rt.PT, px.addr); cerr != nil {
+	callerDom := hw.CodeDomain(rt.PT)
+	if cerr := rt.M.Arch.CallCached(hw, rt.PT, px.addr, &d.callIn); cerr != nil {
 		return nil, cerr // hardware fault reflected to the caller
 	}
 	t.Exec(p.FuncCall, stats.BlockUser)
-	if perr := rt.M.Arch.CheckPriv(hw, rt.PT); perr != nil {
+	if perr := rt.M.Arch.CheckPrivCached(hw, rt.PT, &d.priv); perr != nil {
 		return nil, perr // unreachable: proxy pages are privileged
 	}
 
 	// ---- proxy entry: prepare_ret + policy enter ----
-	enter := p.StackCheck + p.KCSPush + p.APLCacheLookup
-	fr := kcsEntry{proxy: px, callerProc: t.Process(), callerIP: callerIP}
-	retCap, rerr := rt.M.Arch.NewFromAPL(hw, rt.PT, px.domTag, px.retAddr,
-		int(rt.M.Arch.EntryAlign), codoms.PermCall, codoms.CapSync, nil)
+	fr := kcsEntry{proxy: px, callerProc: t.Process(), callerIP: callerIP,
+		callerDom: callerDom, callerPTGen: rt.PT.Gen()}
+	retCap, rerr := px.returnCap(ts, hw)
 	if rerr != nil {
 		hw.SetIP(callerIP)
 		return nil, rerr
 	}
-	enter += p.CapCreate
 	fr.savedCap = hw.CapRegs[retCapReg]
 	hw.CapRegs[retCapReg] = retCap
 
-	if px.mp.proxy.Has(StackConfIntegrity) {
-		// isolate_pcall: switch to the callee's stack and copy the
-		// in-stack arguments by signature.
-		enter += p.StackSwitch + p.Copy(px.sig.StackBytes)
-	}
-	switch {
-	case px.mp.proxy.Has(DCSConfIntegrity):
-		tok, derr := hw.DCS.SwitchTo(min(px.sig.CapArgs, hw.DCS.Depth()))
+	switch d.dcsMode {
+	case dcsConf:
+		// isolate_pcall: give the callee a separate capability stack
+		// holding only the signature's capability arguments.
+		tok, derr := hw.DCS.SwitchTo(min(d.capArgs, hw.DCS.Depth()))
 		if derr != nil {
 			hw.CapRegs[retCapReg] = fr.savedCap
 			hw.SetIP(callerIP)
 			return nil, derr
 		}
 		fr.dcsToken = tok
-		enter += p.DCSSwitch + sim.Time(px.sig.CapArgs)*p.CapLoadStore
-	case px.mp.proxy.Has(DCSIntegrity):
-		old, derr := hw.DCS.SetBase(hw.DCS.Top() - min(px.sig.CapArgs, hw.DCS.Depth()))
+	case dcsInteg:
+		old, derr := hw.DCS.SetBase(hw.DCS.Top() - min(d.capArgs, hw.DCS.Depth()))
 		if derr != nil {
 			hw.CapRegs[retCapReg] = fr.savedCap
 			hw.SetIP(callerIP)
 			return nil, derr
 		}
 		fr.oldDCSBase = old
-		enter += p.DCSAdjust
 	}
-	t.Exec(enter, stats.BlockProxy)
+	t.Exec(d.enter, stats.BlockProxy)
 
+	// Pre-size the KCS to the deepest chain this proxy's template has
+	// carried, so a fresh thread entering a deep chain grows it once.
+	if c := px.tmpl.maxDepth; cap(ts.kcs) < c {
+		grown := make([]kcsEntry, len(ts.kcs), c)
+		copy(grown, ts.kcs)
+		ts.kcs = grown
+	}
 	ts.kcs = append(ts.kcs, fr)
 	depth := len(ts.kcs)
+	if depth > px.tmpl.maxDepth {
+		px.tmpl.maxDepth = depth
+	}
 
 	if px.cross {
 		// track_process_call: in-place process switch (§6.1.2).
@@ -202,43 +308,37 @@ func (px *Proxy) invoke(t *kernel.Thread, in *Args) (out *Args, err error) {
 	}()
 
 	// ---- call into the target entry point ----
-	if cerr := rt.M.Arch.Call(hw, rt.PT, px.entry.addr); cerr != nil {
+	if cerr := rt.M.Arch.CallCached(hw, rt.PT, px.entry.addr, &d.callEntry); cerr != nil {
 		px.unwindFrame(t, ts, depth)
 		return nil, cerr
 	}
 	t.Exec(p.FuncCall, stats.BlockUser)
 
 	// ---- callee stub + target function ----
-	t.Exec(px.stubEnter(px.mp.calleeStub), px.stubBlock())
+	t.Exec(d.calleeEnter, d.stubBlock)
 	result := px.entry.desc.Fn(t, in)
-	t.Exec(px.stubExit(px.mp.calleeStub), px.stubBlock())
+	t.Exec(d.calleeExit, d.stubBlock)
 
 	// ---- return into proxy_ret through the minted capability (P3) ----
-	if cerr := rt.M.Arch.Call(hw, rt.PT, px.retAddr); cerr != nil {
+	if cerr := rt.M.Arch.CallCached(hw, rt.PT, px.retAddr, &d.callRet); cerr != nil {
 		px.unwindFrame(t, ts, depth)
 		return nil, cerr
 	}
 
 	// ---- proxy_ret: deprepare_ret + policy exit ----
-	exit := p.KCSPop
-	if px.mp.proxy.Has(StackConfIntegrity) {
-		exit += p.StackSwitch + p.Copy(px.sig.StackRet)
-	}
-	switch {
-	case px.mp.proxy.Has(DCSConfIntegrity):
-		nres := min(px.sig.CapRets, hw.DCS.Depth())
+	switch d.dcsMode {
+	case dcsConf:
+		nres := min(d.capRets, hw.DCS.Depth())
 		if derr := hw.DCS.RestoreFrom(ts.kcs[depth-1].dcsToken, nres); derr != nil {
 			px.unwindFrame(t, ts, depth)
 			return nil, derr
 		}
 		ts.kcs[depth-1].dcsToken = nil
-		exit += p.DCSSwitch + sim.Time(px.sig.CapRets)*p.CapLoadStore
-	case px.mp.proxy.Has(DCSIntegrity):
+	case dcsInteg:
 		if _, derr := hw.DCS.SetBase(ts.kcs[depth-1].oldDCSBase); derr != nil {
 			px.unwindFrame(t, ts, depth)
 			return nil, derr
 		}
-		exit += p.DCSAdjust
 	}
 	if px.cross {
 		px.trackProcessRet(t, &ts.kcs[depth-1])
@@ -246,11 +346,17 @@ func (px *Proxy) invoke(t *kernel.Thread, in *Args) (out *Args, err error) {
 	}
 	hw.CapRegs[retCapReg] = ts.kcs[depth-1].savedCap
 	ts.kcs = ts.kcs[:depth-1]
-	t.Exec(exit, stats.BlockProxy)
-	hw.SetIP(callerIP)
+	t.Exec(d.exit, stats.BlockProxy)
+	if fr.callerPTGen == rt.PT.Gen() {
+		// The caller's code page cannot have changed domains: reinstate
+		// the subject-domain cache along with the instruction pointer.
+		hw.SetIPInDomain(callerIP, fr.callerDom)
+	} else {
+		hw.SetIP(callerIP)
+	}
 
 	// ---- caller stub: deisolate_call ----
-	t.Exec(px.stubExit(px.mp.callerStub), px.stubBlock())
+	t.Exec(d.callerExit, d.stubBlock)
 	return result, nil
 }
 

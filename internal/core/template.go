@@ -14,6 +14,11 @@ type ProxyTemplate struct {
 	Key       templateKey
 	CodeBytes int // template size (paper average: ~600 B)
 	Relocs    int // relocation slots patched at generation time
+
+	// maxDepth is the deepest kernel-control-stack chain any proxy of
+	// this template has been part of; threads entering such a chain
+	// pre-size their KCS to it so deep call stacks grow it once.
+	maxDepth int
 }
 
 // templateKey identifies a template variant. Register counts and stack

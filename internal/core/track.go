@@ -52,11 +52,28 @@ func insertNode(n *trackNode, tag codoms.Tag, e *procEntry) *trackNode {
 	return n
 }
 
+// kcsInlineDepth is the kernel control stack depth held inline in the
+// thread state: chains up to this deep never allocate a KCS frame.
+// Deeper chains spill to a heap slice, pre-sized from the proxy
+// template's deepest observed chain.
+const kcsInlineDepth = 8
+
+// retCapEntry is one cached P3 return capability, valid while the APLs
+// and the page table it was derived under are unchanged.
+type retCapEntry struct {
+	cap   codoms.Capability
+	epoch uint64
+	ptGen uint64
+}
+
 // threadState is the dIPC per-thread state hung off kernel.Thread.Ext:
 // the kernel control stack, the process-tracking cache array (indexed by
-// the 5-bit hardware domain tag) and the tracking tree.
+// the 5-bit hardware domain tag), the tracking tree and the per-proxy
+// return-capability cache.
 type threadState struct {
 	kcs        []kcsEntry
+	kcsInline  [kcsInlineDepth]kcsEntry
+	retCaps    map[*Proxy]retCapEntry
 	trackCache [codoms.APLCacheSize]*procEntry
 	trackTags  [codoms.APLCacheSize]codoms.Tag
 	trackTree  *trackNode
@@ -67,13 +84,15 @@ type threadState struct {
 // kcsEntry is one kernel-control-stack frame: who called through which
 // proxy, and everything the proxy must restore on return or unwind (P3).
 type kcsEntry struct {
-	proxy      *Proxy
-	callerProc *kernel.Process
-	callerIP   mem.Addr
-	savedCap   codoms.Capability // capability register spilled for prepare_ret
-	oldDCSBase int               // DCS integrity restore point
-	dcsToken   any               // DCS confidentiality restore token
-	migrated   bool
+	proxy       *Proxy
+	callerProc  *kernel.Process
+	callerIP    mem.Addr
+	callerDom   codoms.Tag        // subject domain of the caller's code page
+	callerPTGen uint64            // page-table generation callerDom was read under
+	savedCap    codoms.Capability // capability register spilled for prepare_ret
+	oldDCSBase  int               // DCS integrity restore point
+	dcsToken    any               // DCS confidentiality restore token
+	migrated    bool
 }
 
 // state returns (creating on first use) the thread's dIPC state and
@@ -86,6 +105,7 @@ func state(t *kernel.Thread) *threadState {
 		homeProc: t.Process(),
 		nextTIDs: make(map[int]int),
 	}
+	ts.kcs = ts.kcsInline[:0]
 	t.Ext = ts
 	installUnwinder(t, ts)
 	return ts

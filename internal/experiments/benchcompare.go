@@ -3,7 +3,10 @@
 
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // BenchDelta is one scenario's baseline-vs-current comparison.
 type BenchDelta struct {
@@ -71,6 +74,36 @@ func CompareReports(base, cur *BenchReport) []BenchDelta {
 		}
 	}
 	return out
+}
+
+// MedianPct returns the median percentage delta over the comparable
+// scenarios (0 when none are). It is the machine-speed normalizer for
+// gated comparisons: a baseline captured on a different-class host
+// shifts every scenario by roughly the same factor, so a scenario's
+// delta relative to the suite median isolates genuine per-path
+// regressions from host drift.
+func MedianPct(deltas []BenchDelta) float64 {
+	var pcts []float64
+	for _, d := range deltas {
+		if d.Comparable() {
+			pcts = append(pcts, d.Pct)
+		}
+	}
+	if len(pcts) == 0 {
+		return 0
+	}
+	sort.Float64s(pcts)
+	n := len(pcts)
+	if n%2 == 1 {
+		return pcts[n/2]
+	}
+	return (pcts[n/2-1] + pcts[n/2]) / 2
+}
+
+// RegressedRelative reports whether the scenario got slower than the
+// suite's median delta by more than threshold percentage points.
+func (d BenchDelta) RegressedRelative(median, threshold float64) bool {
+	return d.Comparable() && d.Pct-median > threshold
 }
 
 // FmtNs renders a nanosecond quantity at log-friendly precision.

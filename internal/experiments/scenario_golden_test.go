@@ -45,6 +45,8 @@ var scenarioGoldens = map[string]struct {
 		"5e56c672aa925106a105c3433dc413870deedc2f565bc39cd627d8e283c2c5c8", true},
 	"chain": {map[string]string{"depth": "1,2", "threads": "4", "window": "20ms"},
 		"b9c0fef5ea99e0653010c63372e71e5b854ff52cd8e191caaea9fa955bb18917", true},
+	"crosscall":     {nil, "59b36b2287e85cf8f8ceab222adedb467530d73aac0e45a9304b2e4b0964d20b", false},
+	"crosscalldeep": {nil, "36e8a478a68eb33a3584a721d4efa69499fe154a60bf58d37e1de4632949ae40", false},
 }
 
 // TestScenarioGoldenCoverage enforces, by iterating the registry, that

@@ -75,7 +75,15 @@ type PageTable struct {
 	root      *node
 	mapped    int    // number of present leaf entries
 	nextFrame uint64 // bump allocator for fresh physical frames
+	gen       uint64 // bumped on every mutation; see Gen
 }
+
+// Gen returns the table's mutation generation: it changes whenever any
+// mapping, tag or flag in the table changes. Layers that precompute
+// translation-dependent state (dIPC's proxy call descriptors, cached
+// capabilities) key their caches on it so a dom_remap or unmap
+// invalidates them without a broadcast.
+func (pt *PageTable) Gen() uint64 { return pt.gen }
 
 // NewPageTable returns an empty table.
 func NewPageTable() *PageTable {
@@ -139,6 +147,7 @@ func (pt *PageTable) Map(va Addr, n int, flags PageFlags, tag Tag) error {
 		}
 		leaf.leaves[idx] = PageInfo{Flags: flags | FlagPresent, Tag: tag, Frame: pt.AllocFrame()}
 		pt.mapped++
+		pt.gen++
 	}
 	return nil
 }
@@ -162,6 +171,7 @@ func (pt *PageTable) MapShared(va Addr, n int, flags PageFlags, tag Tag, srcTabl
 		}
 		leaf.leaves[idx] = PageInfo{Flags: flags | FlagPresent, Tag: tag, Frame: spi.Frame}
 		pt.mapped++
+		pt.gen++
 	}
 	return nil
 }
@@ -177,6 +187,7 @@ func (pt *PageTable) Unmap(va Addr, n int) {
 		if leaf.leaves[idx].Present() {
 			leaf.leaves[idx] = PageInfo{}
 			pt.mapped--
+			pt.gen++
 		}
 	}
 }
@@ -215,6 +226,7 @@ func (pt *PageTable) Retag(va Addr, n int, expect, to Tag) error {
 	for i := 0; i < n; i++ {
 		leaf, idx, _ := pt.walk(va+Addr(i)*PageSize, false)
 		leaf.leaves[idx].Tag = to
+		pt.gen++
 	}
 	return nil
 }
@@ -228,6 +240,7 @@ func (pt *PageTable) SetFlags(va Addr, n int, flags PageFlags) error {
 			return fmt.Errorf("mem: SetFlags on unmapped page %#x", uint64(va)+uint64(i)*PageSize)
 		}
 		leaf.leaves[idx].Flags = flags | FlagPresent
+		pt.gen++
 	}
 	return nil
 }

@@ -1,17 +1,41 @@
 package mem
 
-// TLB is a small fully-associative translation cache with FIFO
-// replacement. The simulator uses it to account translation behaviour
-// around page-table switches: conventional process switches flush the
-// TLB (the paper's Fig. 2 block 6 includes the refill cost), whereas
-// dIPC's shared page table never needs a flush.
+// TLB is a small translation cache with global-FIFO replacement. The
+// simulator uses it to account translation behaviour around page-table
+// switches: conventional process switches flush the TLB (the paper's
+// Fig. 2 block 6 includes the refill cost), whereas dIPC's shared page
+// table never needs a flush.
+//
+// Storage is a fixed power-of-two set-associative array: the VPN's low
+// bits select a set of tlbWays slots and a conflict spills linearly into
+// the following sets, so a lookup is a handful of adjacent probes with
+// no map hashing and no per-miss map growth. The array is sized at twice
+// the TLB's capacity, which bounds the spill chains. Replacement stays
+// global FIFO over a fixed ring of resident VPNs — the hit/miss/eviction
+// sequence is exactly that of a fully-associative FIFO TLB of the same
+// capacity (the previous map-based implementation), which the property
+// tests in tlb_test.go pin.
 type TLB struct {
 	capacity int
-	entries  map[Addr]PageInfo
-	order    []Addr // FIFO eviction order
+	slotMask int        // len(slots)-1; power of two
+	slots    []tlbEntry // set-associative storage, tlbWays per set
+	fifo     []Addr     // ring of resident VPNs, oldest at head
+	head     int
+	count    int
 	hits     uint64
 	misses   uint64
 	flushes  uint64
+}
+
+// tlbWays is the associativity: the number of slots per set probed
+// before spilling into the next set.
+const tlbWays = 4
+
+// tlbEntry is one slot of the storage array.
+type tlbEntry struct {
+	key  Addr // VPN
+	pi   PageInfo
+	used bool
 }
 
 // NewTLB returns a TLB with the given number of entries.
@@ -19,22 +43,50 @@ func NewTLB(capacity int) *TLB {
 	if capacity <= 0 {
 		capacity = 64
 	}
+	sets := 1
+	for sets*tlbWays < 2*capacity {
+		sets <<= 1
+	}
 	return &TLB{
 		capacity: capacity,
-		entries:  make(map[Addr]PageInfo, capacity),
+		slotMask: sets*tlbWays - 1,
+		slots:    make([]tlbEntry, sets*tlbWays),
+		fifo:     make([]Addr, capacity),
 	}
 }
 
 // vpn returns the virtual page number key for an address.
 func vpn(va Addr) Addr { return va >> PageShift }
 
+// home returns the first slot of the set the key maps to.
+func (t *TLB) home(key Addr) int {
+	return (int(key) * tlbWays) & t.slotMask
+}
+
+// find probes the key's set and its spill chain, returning the slot
+// index or -1. The chain always terminates at an unused slot: the array
+// holds at most capacity entries in 2×capacity slots.
+func (t *TLB) find(key Addr) int {
+	i := t.home(key)
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			return -1
+		}
+		if s.key == key {
+			return i
+		}
+		i = (i + 1) & t.slotMask
+	}
+}
+
 // Lookup translates va through the TLB, falling back to a walk of pt on
 // a miss and installing the translation. The boolean reports a hit.
 func (t *TLB) Lookup(pt *PageTable, va Addr) (PageInfo, bool) {
 	key := vpn(va)
-	if pi, ok := t.entries[key]; ok {
+	if i := t.find(key); i >= 0 {
 		t.hits++
-		return pi, true
+		return t.slots[i].pi, true
 	}
 	t.misses++
 	pi, ok := pt.Lookup(va)
@@ -45,27 +97,65 @@ func (t *TLB) Lookup(pt *PageTable, va Addr) (PageInfo, bool) {
 }
 
 func (t *TLB) insert(key Addr, pi PageInfo) {
-	if _, exists := t.entries[key]; !exists && len(t.entries) >= t.capacity {
-		victim := t.order[0]
-		t.order = t.order[1:]
-		delete(t.entries, victim)
+	if i := t.find(key); i >= 0 {
+		// Refresh in place; FIFO position is unchanged, as for the map.
+		t.slots[i].pi = pi
+		return
 	}
-	if _, exists := t.entries[key]; !exists {
-		t.order = append(t.order, key)
+	if t.count >= t.capacity {
+		victim := t.fifo[t.head]
+		t.head = (t.head + 1) % t.capacity
+		t.count--
+		if i := t.find(victim); i >= 0 {
+			t.deleteSlot(i)
+		}
 	}
-	t.entries[key] = pi
+	t.fifo[(t.head+t.count)%t.capacity] = key
+	t.count++
+	i := t.home(key)
+	for t.slots[i].used {
+		i = (i + 1) & t.slotMask
+	}
+	t.slots[i] = tlbEntry{key: key, pi: pi, used: true}
+}
+
+// deleteSlot empties slot i and backward-shifts the spill chain behind
+// it so that find's unused-slot termination stays correct: a follower is
+// moved into the hole unless its home set lies cyclically after the
+// hole (in which case the hole does not break its probe path).
+func (t *TLB) deleteSlot(i int) {
+	j := i
+	for {
+		t.slots[i] = tlbEntry{}
+		for {
+			j = (j + 1) & t.slotMask
+			if !t.slots[j].used {
+				return
+			}
+			home := t.home(t.slots[j].key)
+			if (j-home)&t.slotMask >= (j-i)&t.slotMask {
+				break
+			}
+		}
+		t.slots[i] = t.slots[j]
+		i = j
+	}
 }
 
 // Invalidate drops the translation for va (e.g. after Retag or Unmap).
 func (t *TLB) Invalidate(va Addr) {
 	key := vpn(va)
-	if _, ok := t.entries[key]; !ok {
+	i := t.find(key)
+	if i < 0 {
 		return
 	}
-	delete(t.entries, key)
-	for i, k := range t.order {
-		if k == key {
-			t.order = append(t.order[:i], t.order[i+1:]...)
+	t.deleteSlot(i)
+	for j := 0; j < t.count; j++ {
+		if t.fifo[(t.head+j)%t.capacity] == key {
+			for k := j; k < t.count-1; k++ {
+				t.fifo[(t.head+k)%t.capacity] = t.fifo[(t.head+k+1)%t.capacity]
+			}
+			t.count--
 			break
 		}
 	}
@@ -73,8 +163,9 @@ func (t *TLB) Invalidate(va Addr) {
 
 // Flush empties the TLB (page-table switch on a conventional CPU).
 func (t *TLB) Flush() {
-	t.entries = make(map[Addr]PageInfo, t.capacity)
-	t.order = t.order[:0]
+	clear(t.slots)
+	t.head = 0
+	t.count = 0
 	t.flushes++
 }
 
@@ -84,4 +175,4 @@ func (t *TLB) Stats() (hits, misses, flushes uint64) {
 }
 
 // Len returns the number of cached translations.
-func (t *TLB) Len() int { return len(t.entries) }
+func (t *TLB) Len() int { return t.count }

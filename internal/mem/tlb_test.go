@@ -1,0 +1,211 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refTLB is the previous map-based fully-associative FIFO implementation,
+// kept verbatim as the behavioural reference for the set-associative
+// array: same capacity, same eviction policy, same counters.
+type refTLB struct {
+	capacity int
+	entries  map[Addr]PageInfo
+	order    []Addr
+	hits     uint64
+	misses   uint64
+	flushes  uint64
+}
+
+func newRefTLB(capacity int) *refTLB {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &refTLB{capacity: capacity, entries: make(map[Addr]PageInfo, capacity)}
+}
+
+func (t *refTLB) Lookup(pt *PageTable, va Addr) (PageInfo, bool) {
+	key := vpn(va)
+	if pi, ok := t.entries[key]; ok {
+		t.hits++
+		return pi, true
+	}
+	t.misses++
+	pi, ok := pt.Lookup(va)
+	if ok {
+		t.insert(key, pi)
+	}
+	return pi, false
+}
+
+func (t *refTLB) insert(key Addr, pi PageInfo) {
+	if _, exists := t.entries[key]; !exists && len(t.entries) >= t.capacity {
+		victim := t.order[0]
+		t.order = t.order[1:]
+		delete(t.entries, victim)
+	}
+	if _, exists := t.entries[key]; !exists {
+		t.order = append(t.order, key)
+	}
+	t.entries[key] = pi
+}
+
+func (t *refTLB) Invalidate(va Addr) {
+	key := vpn(va)
+	if _, ok := t.entries[key]; !ok {
+		return
+	}
+	delete(t.entries, key)
+	for i, k := range t.order {
+		if k == key {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (t *refTLB) Flush() {
+	t.entries = make(map[Addr]PageInfo, t.capacity)
+	t.order = t.order[:0]
+	t.flushes++
+}
+
+// tlbTable maps n consecutive pages so lookups have something to hit.
+func tlbTable(t *testing.T, n int) *PageTable {
+	t.Helper()
+	pt := NewPageTable()
+	if err := pt.Map(0, n, FlagWrite, 1); err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+// TestTLBEvictionOrder fills the TLB past capacity and checks the
+// oldest translations left in insertion order.
+func TestTLBEvictionOrder(t *testing.T) {
+	pt := tlbTable(t, 8)
+	tlb := NewTLB(3)
+	for i := 0; i < 5; i++ { // pages 0..4; 0 and 1 must be evicted
+		tlb.Lookup(pt, Addr(i)*PageSize)
+	}
+	if tlb.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tlb.Len())
+	}
+	for i, wantHit := range []bool{false, false, true, true, true} {
+		before, _, _ := tlb.Stats()
+		_, hit := tlb.Lookup(pt, Addr(i)*PageSize)
+		if hit != wantHit {
+			t.Errorf("page %d: hit = %v, want %v", i, hit, wantHit)
+		}
+		// Re-probing page 0/1 refills and evicts again; rebuild state.
+		_ = before
+		if !wantHit {
+			tlb.Flush()
+			for j := 0; j < 5; j++ {
+				tlb.Lookup(pt, Addr(j)*PageSize)
+			}
+		}
+	}
+}
+
+// TestTLBFIFOWraparound drives the eviction ring around its buffer
+// several times and checks residency stays exactly the last `capacity`
+// distinct pages.
+func TestTLBFIFOWraparound(t *testing.T) {
+	const capacity, pages = 4, 64
+	pt := tlbTable(t, pages)
+	tlb := NewTLB(capacity)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < pages; i++ {
+			tlb.Lookup(pt, Addr(i)*PageSize)
+		}
+		if tlb.Len() != capacity {
+			t.Fatalf("round %d: Len = %d, want %d", round, tlb.Len(), capacity)
+		}
+		// The last `capacity` pages are resident, everything older is not.
+		hits, _, _ := tlb.Stats()
+		for i := pages - capacity; i < pages; i++ {
+			if _, hit := tlb.Lookup(pt, Addr(i)*PageSize); !hit {
+				t.Fatalf("round %d: recent page %d missed", round, i)
+			}
+		}
+		afterHits, _, _ := tlb.Stats()
+		if afterHits-hits != capacity {
+			t.Fatalf("round %d: %d hits on the resident window, want %d", round, afterHits-hits, capacity)
+		}
+	}
+}
+
+// TestTLBCapacityOne pins the degenerate single-entry TLB: every
+// distinct page evicts the previous one, repeats hit.
+func TestTLBCapacityOne(t *testing.T) {
+	pt := tlbTable(t, 4)
+	tlb := NewTLB(1)
+	if _, hit := tlb.Lookup(pt, 0); hit {
+		t.Fatal("cold lookup hit")
+	}
+	if _, hit := tlb.Lookup(pt, 8); !hit { // same page, different offset
+		t.Fatal("same-page lookup missed")
+	}
+	if _, hit := tlb.Lookup(pt, PageSize); hit {
+		t.Fatal("second page hit a single-entry TLB")
+	}
+	if _, hit := tlb.Lookup(pt, 0); hit {
+		t.Fatal("evicted page still resident")
+	}
+	if tlb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tlb.Len())
+	}
+	tlb.Invalidate(0)
+	if tlb.Len() != 0 {
+		t.Fatalf("Len after invalidate = %d, want 0", tlb.Len())
+	}
+	if _, hit := tlb.Lookup(pt, PageSize); hit {
+		t.Fatal("hit after invalidate emptied the TLB")
+	}
+}
+
+// TestTLBMatchesMapReference is the differential property test: on
+// random traces of lookups, invalidates and flushes, the set-associative
+// TLB must report the same hit/miss result and the same counters as the
+// map-based fully-associative FIFO reference, step for step.
+func TestTLBMatchesMapReference(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 4, 7, 16, 64} {
+		rng := rand.New(rand.NewSource(int64(0xD1BC + capacity)))
+		const pages = 96
+		pt := tlbTable(t, pages)
+		got := NewTLB(capacity)
+		want := newRefTLB(capacity)
+		for step := 0; step < 20000; step++ {
+			switch op := rng.Intn(100); {
+			case op < 88: // lookup; skew toward a hot subset so hits occur
+				page := rng.Intn(pages)
+				if rng.Intn(2) == 0 {
+					page = rng.Intn(2 * capacity)
+				}
+				va := Addr(page)*PageSize + Addr(rng.Intn(PageSize))
+				gpi, ghit := got.Lookup(pt, va)
+				wpi, whit := want.Lookup(pt, va)
+				if ghit != whit || gpi != wpi {
+					t.Fatalf("cap %d step %d: Lookup(%#x) = (%+v,%v), reference (%+v,%v)",
+						capacity, step, uint64(va), gpi, ghit, wpi, whit)
+				}
+			case op < 97:
+				va := Addr(rng.Intn(pages)) * PageSize
+				got.Invalidate(va)
+				want.Invalidate(va)
+			default:
+				got.Flush()
+				want.Flush()
+			}
+			gh, gm, gf := got.Stats()
+			if gh != want.hits || gm != want.misses || gf != want.flushes {
+				t.Fatalf("cap %d step %d: stats (%d,%d,%d), reference (%d,%d,%d)",
+					capacity, step, gh, gm, gf, want.hits, want.misses, want.flushes)
+			}
+			if got.Len() != len(want.entries) {
+				t.Fatalf("cap %d step %d: Len %d, reference %d", capacity, step, got.Len(), len(want.entries))
+			}
+		}
+	}
+}

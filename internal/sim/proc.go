@@ -45,12 +45,40 @@ func (p *Proc) park() payload {
 }
 
 // Sleep advances simulated time by d from this Proc's perspective.
+//
+// Fast path: events are only ever pushed by whoever holds engine
+// control, and that is this proc right now — so if the queue holds no
+// live event at or before now+d, the engine loop could only pop this
+// proc's own wakeup straight back (schedSelf). In that case the heap
+// round trip, the generation bookkeeping of delivery and the park are
+// all skipped and the clock advances inline. The fast path is disabled
+// under a Step budget (every delivery must be counted) and across the
+// RunUntil limit (the wakeup must stay queued past the window), where
+// the queued event is observable.
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.bumpGen(p)
-	p.eng.push(p.eng.now+d, p, p.gen, payload{}, nil)
+	e := p.eng
+	at := e.now + d
+	if e.budget < 0 && at <= e.limit {
+		q := &e.events
+		for q.len() > 0 && staleEvent(q.head()) {
+			q.pop()
+			q.stale--
+		}
+		if q.len() == 0 || q.head().at > at {
+			// Exactly the state a delivered wakeup would leave behind:
+			// prior events for the old generation become stale, the new
+			// generation is consumed, the clock stands at the wake time.
+			e.bumpGen(p)
+			p.delivered = p.gen
+			e.now = at
+			return
+		}
+	}
+	e.bumpGen(p)
+	e.push(at, p, p.gen, payload{}, nil)
 	p.park()
 }
 
