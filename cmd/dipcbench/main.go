@@ -3,12 +3,13 @@
 // API. Usage:
 //
 //	dipcbench list
-//	dipcbench run <scenario> [-p key=value ...] [-json path]
-//	dipcbench [-window ms] [-full] bench [-runs n] [-warmup n]
-//	          [-compare baseline.json] [-regress pct] [-gate names]
-//	          [-json path] [scenario ...]
-//	dipcbench [-window ms] [-full] [-parallel n] [-benchjson path]
-//	          [-cpuprofile path] [-memprofile path] [experiment ...]
+//	dipcbench run <scenario> [-p key=value ...] [-shards n] [-json path]
+//	dipcbench [-window ms] [-full] [-shards n] bench [-runs n] [-warmup n]
+//	          [-shards n] [-compare baseline.json] [-regress pct]
+//	          [-gate names] [-json path] [scenario ...]
+//	dipcbench [-window ms] [-full] [-shards n] [-parallel n]
+//	          [-benchjson path] [-cpuprofile path] [-memprofile path]
+//	          [experiment ...]
 //
 // `list` prints every registered scenario with its typed parameters and
 // defaults. `run` executes one scenario with explicit parameter
@@ -28,6 +29,13 @@
 // alias -j; default: one worker per CPU); the output is identical
 // whatever the worker count.
 //
+// -shards forwards to every selected scenario that declares a `shards`
+// execution parameter (1 = sequential reference, 0 = one per host core;
+// what it shards — the sweep grid or one clustered engine — is each
+// scenario's call, see its -p doc). Results are byte-identical at every
+// shard count; only wall-clock time changes, so bench reports record
+// the shard count and bench -compare refuses to mix different ones.
+//
 // -benchjson times each selected scenario under a wall clock and writes
 // a BENCH_*.json-shaped baseline report (schema dipc-bench/v2, with the
 // run context and per-scenario parameters recorded) to the given path,
@@ -43,6 +51,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
@@ -84,6 +93,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	full := fs.Bool("full", false, "run the full-resolution sweeps (forwarded to scenarios with a `full` parameter)")
 	parallel := fs.Int("parallel", 0, "sweep worker count (0 = one per CPU, 1 = sequential)")
 	fs.IntVar(parallel, "j", 0, "alias for -parallel")
+	shards := fs.Int("shards", 1, "shard count forwarded to scenarios with a `shards` parameter (1 = sequential reference, 0 = one per host core)")
 	benchjson := fs.String("benchjson", "", "write a wall-clock benchmark report (BENCH_*.json shape) to this path")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this path")
@@ -95,16 +105,20 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	experiments.SetParallelism(*parallel)
-	windowSet := false
+	windowSet, shardsSet := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "window" {
+		switch f.Name {
+		case "window":
 			windowSet = true
+		case "shards":
+			shardsSet = true
 		}
 	})
 
-	// globalOverrides forwards the legacy -window/-full flags to any
-	// scenario declaring those parameter keys; everything else comes
-	// from the scenario's own declared defaults.
+	// globalOverrides forwards the legacy -window/-full flags (and
+	// -shards, when given explicitly) to any scenario declaring those
+	// parameter keys; everything else comes from the scenario's own
+	// declared defaults.
 	globalOverrides := func(s scenario.Scenario) map[string]string {
 		ov := map[string]string{}
 		for _, spec := range s.Params() {
@@ -116,6 +130,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			case "full":
 				if *full {
 					ov["full"] = "true"
+				}
+			case "shards":
+				if shardsSet {
+					ov["shards"] = strconv.Itoa(*shards)
 				}
 			}
 		}
@@ -132,7 +150,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return cmdList(reg, stdout)
 
 	case len(args) > 0 && args[0] == "bench":
-		return cmdBench(reg, args[1:], globalOverrides, *full, *windowMs, stdout, stderr)
+		return cmdBench(reg, args[1:], globalOverrides, *full, *windowMs, *shards, shardsSet, stdout, stderr)
 
 	case len(args) > 0 && args[0] == "run":
 		rest := args[1:]
@@ -145,6 +163,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		sub.SetOutput(stderr)
 		pairs := paramFlags{}
 		sub.Var(pairs, "p", "scenario parameter override (`key=value`, repeatable)")
+		runShards := sub.Int("shards", -1, "shard count, shorthand for -p shards=N (-1: inherit the top-level -shards)")
 		jsonFlag := sub.String("json", "", "write the canonical dipc-scenario/v1 JSON document to this path")
 		if err := sub.Parse(rest[1:]); err != nil {
 			if errors.Is(err, flag.ErrHelp) {
@@ -170,6 +189,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		ov := globalOverrides(s)
+		if *runShards >= 0 {
+			ov["shards"] = strconv.Itoa(*runShards)
+		}
 		for k, v := range pairs {
 			ov[k] = v
 		}
@@ -235,6 +257,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		report = experiments.NewBenchReport()
 		report.Full = *full
 		report.Window = scenario.FormatDuration(sim.Millis(*windowMs))
+		report.Shards = resolveShards(*shards)
 	}
 	for i, j := range jobs {
 		var res *scenario.Result
@@ -300,12 +323,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 // moves only its own scenarios.
 func cmdBench(reg *scenario.Registry, argv []string,
 	globalOverrides func(scenario.Scenario) map[string]string,
-	full bool, windowMs float64, stdout, stderr io.Writer) int {
+	full bool, windowMs float64, shards int, shardsSet bool, stdout, stderr io.Writer) int {
 
 	sub := flag.NewFlagSet("dipcbench bench", flag.ContinueOnError)
 	sub.SetOutput(stderr)
 	runs := sub.Int("runs", 3, "measured runs per scenario (min/median reported)")
 	warmup := sub.Int("warmup", 1, "unmeasured warmup runs per scenario")
+	benchShards := sub.Int("shards", -1, "shard count forwarded to scenarios with a `shards` parameter (-1: inherit the top-level -shards)")
 	compare := sub.String("compare", "", "baseline BENCH_*.json to diff against")
 	regress := sub.Float64("regress", 25, "flag scenarios slower than baseline by more than this percent")
 	gate := sub.String("gate", "", "comma-separated scenarios whose regression fails the run (exit 1); judged relative to the suite's median delta so host-speed drift cancels")
@@ -317,12 +341,35 @@ func cmdBench(reg *scenario.Registry, argv []string,
 		return 2
 	}
 
+	if *benchShards >= 0 {
+		shards, shardsSet = *benchShards, true
+	}
+	if shardsSet {
+		inner := globalOverrides
+		globalOverrides = func(s scenario.Scenario) map[string]string {
+			ov := inner(s)
+			for _, spec := range s.Params() {
+				if spec.Key == "shards" {
+					ov["shards"] = strconv.Itoa(shards)
+				}
+			}
+			return ov
+		}
+	}
+
 	var baseline *experiments.BenchReport
 	if *compare != "" {
 		var err error
 		baseline, err = experiments.LoadBenchReport(*compare)
 		if err != nil {
 			fmt.Fprintf(stderr, "compare: %v\n", err)
+			return 2
+		}
+		// Wall-clock numbers at different shard counts measure different
+		// executions; refusing up front beats a silently bogus diff.
+		if cur := resolveShards(shards); baseline.EffectiveShards() != cur {
+			fmt.Fprintf(stderr, "compare: baseline %s was measured at shards=%d, this run uses shards=%d; rerun with matching -shards\n",
+				*compare, baseline.EffectiveShards(), cur)
 			return 2
 		}
 	}
@@ -379,6 +426,7 @@ func cmdBench(reg *scenario.Registry, argv []string,
 	report := experiments.NewBenchReport()
 	report.Full = full
 	report.Window = scenario.FormatDuration(sim.Millis(windowMs))
+	report.Shards = resolveShards(shards)
 	for i, j := range jobs {
 		var runErr error
 		report.TimeRuns(j.scn.Name(), *runs, *warmup, cfgs[i].ParamStrings(), func() {
@@ -481,6 +529,16 @@ func cmdBench(reg *scenario.Registry, argv []string,
 		return 1
 	}
 	return 0
+}
+
+// resolveShards maps the -shards flag to the shard count a run records:
+// 0 means one shard per host core, anything below 1 otherwise clamps to
+// the sequential reference.
+func resolveShards(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return max(n, 1)
 }
 
 // cmdList prints every registered scenario, its parameter schema and

@@ -24,11 +24,24 @@ type NIC struct {
 // NewNIC attaches a NIC model to the machine.
 func NewNIC(m *kernel.Machine) *NIC { return &NIC{m: m} }
 
-// flightTime is the one-way latency of a size-byte message.
-func (n *NIC) flightTime(size int) sim.Time {
+// FlightTime is the one-way latency of a size-byte message: base latency
+// plus wire time. Exported so multi-machine models can use the same
+// figure when delaying deliveries over a sim.Cluster link.
+func (n *NIC) FlightTime(size int) sim.Time {
 	p := n.m.P
 	return p.NICBaseLatency + sim.Time(float64(size)/p.NICBytesPerNs*float64(sim.Nanosecond))
 }
+
+// flightTime is the unexported spelling kept for the intra-package call
+// sites.
+func (n *NIC) flightTime(size int) sim.Time { return n.FlightTime(size) }
+
+// Lookahead is the minimum scheduling-visible delay of any NIC delivery —
+// the base latency, since FlightTime(size) >= NICBaseLatency for every
+// size. This is the wire a sharded simulation cuts along: a cross-machine
+// sim.Link declaring this lookahead lets both machines run in parallel
+// inside it.
+func (n *NIC) Lookahead() sim.Time { return n.m.P.NICBaseLatency }
 
 // PingPong blocks the calling thread for one ping-pong round trip of
 // size-byte messages with a zero-cost remote reflector (the NPtcp

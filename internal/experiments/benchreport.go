@@ -29,16 +29,21 @@ const BenchSchema = "dipc-bench/v3"
 
 // BenchReport is the top-level document emitted as BENCH_*.json.
 type BenchReport struct {
-	Schema      string       `json:"schema"`
-	GoVersion   string       `json:"go_version"`
-	GOOS        string       `json:"goos"`
-	GOARCH      string       `json:"goarch"`
-	CPUs        int          `json:"cpus"`
-	Parallelism int          `json:"parallelism"`
-	Full        bool         `json:"full"`       // the -full flag of the run
-	Window      string       `json:"window"`     // the -window flag, canonical duration
-	StartedAt   string       `json:"started_at"` // RFC 3339, wall clock
-	Results     []BenchEntry `json:"results"`
+	Schema      string `json:"schema"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+	Parallelism int    `json:"parallelism"`
+	Full        bool   `json:"full"`   // the -full flag of the run
+	Window      string `json:"window"` // the -window flag, canonical duration
+	// Shards is the -shards flag of the run (0, as in reports written
+	// before the field existed, means 1: the sequential reference). Two
+	// reports measure the same thing only at the same shard count, so
+	// bench -compare refuses to diff reports whose Shards differ.
+	Shards    int          `json:"shards,omitempty"`
+	StartedAt string       `json:"started_at"` // RFC 3339, wall clock
+	Results   []BenchEntry `json:"results"`
 }
 
 // BenchEntry is one timed experiment.
@@ -51,6 +56,15 @@ type BenchEntry struct {
 	MinNs    int64             `json:"min_ns,omitempty"`
 	MedianNs int64             `json:"median_ns,omitempty"`
 	NsPerRun float64           `json:"ns_per_run"` // mean: WallNs / Runs
+}
+
+// EffectiveShards returns the report's shard count, normalizing the
+// zero value of pre-Shards reports to 1 (those runs were sequential).
+func (r *BenchReport) EffectiveShards() int {
+	if r.Shards <= 0 {
+		return 1
+	}
+	return r.Shards
 }
 
 // RepNs returns the entry's most stable per-run figure: the median when

@@ -109,6 +109,15 @@ func TestRegistryDefaultsProduceRunnableConfigs(t *testing.T) {
 		}
 		got := cfg.ParamStrings()
 		for _, spec := range s.Params() {
+			if spec.Exec {
+				// Execution-only parameters must never leak into the
+				// canonical parameter map (they cannot affect results,
+				// so they must not affect digests).
+				if _, present := got[spec.Key]; present {
+					t.Errorf("scenario %q: exec parameter %q appears in ParamStrings", s.Name(), spec.Key)
+				}
+				continue
+			}
 			if got[spec.Key] != spec.Default {
 				t.Errorf("scenario %q: ParamStrings[%q] = %q, want default %q",
 					s.Name(), spec.Key, got[spec.Key], spec.Default)

@@ -47,6 +47,8 @@ var scenarioGoldens = map[string]struct {
 		"b9c0fef5ea99e0653010c63372e71e5b854ff52cd8e191caaea9fa955bb18917", true},
 	"crosscall":     {nil, "59b36b2287e85cf8f8ceab222adedb467530d73aac0e45a9304b2e4b0964d20b", false},
 	"crosscalldeep": {nil, "36e8a478a68eb33a3584a721d4efa69499fe154a60bf58d37e1de4632949ae40", false},
+	"rack": {map[string]string{"window": "10ms", "warmup": "2ms"},
+		"c1ce13c9be9945c7278c6db36ea4169708fb446163f6e22a2f2aba342928df4f", false},
 }
 
 // TestScenarioGoldenCoverage enforces, by iterating the registry, that

@@ -24,7 +24,7 @@ func runChainScenario(cfg *scenario.Config) (*scenario.Result, error) {
 
 	// One sweep point per (mode, depth) cell; every cell builds its own
 	// engine and machine, so the grid fans out over the worker pool.
-	cells := sweep(len(oltpModes)*len(depths), func(i int) *oltp.ChainResult {
+	cells := sweepWorkers(len(oltpModes)*len(depths), shardWorkersOf(cfg), func(i int) *oltp.ChainResult {
 		mode, depth := oltpModes[i/len(depths)], depths[i%len(depths)]
 		return oltp.RunChain(oltp.ChainConfig{
 			Mode: mode, Depth: depth, Threads: threads,
@@ -65,12 +65,14 @@ func init() {
 			scenario.Param("threads", scenario.Int, "8", "gateway workers (and per-tier workers on Linux)"),
 			scenario.Param("work", scenario.Duration, "20us", "application work per tier per request"),
 			scenario.Param("window", scenario.Duration, "100ms", "measurement window (simulated time)"),
+			shardsParam(),
 		},
 		func(cfg *scenario.Config) error {
 			return firstErr(intsAtLeast("depth", cfg.Ints("depth"), 1),
 				intAtLeast("threads", cfg.Int("threads"), 1),
 				durationPositive("window", cfg.Duration("window")),
-				durationPositive("work", cfg.Duration("work")))
+				durationPositive("work", cfg.Duration("work")),
+				intAtLeast("shards", cfg.Int("shards"), 0))
 		},
 		runChainScenario))
 }

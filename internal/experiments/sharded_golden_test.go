@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// The differential half of the sharding determinism contract: every
+// scenario that declares a `shards` execution parameter must produce a
+// byte-identical canonical-JSON document at shards=1 (the sequential
+// reference), 2 and 4 — and, when the parameter point matches its
+// pinned golden entry, that document's digest must be the pinned one at
+// every shard count. Scenarios without the parameter must say why in
+// shardExempt, so adding a scenario forces an explicit sharding
+// decision.
+
+// shardExempt names the scenarios that deliberately do not take a
+// `shards` parameter, with the reason.
+var shardExempt = map[string]string{
+	"anchors":           "closed-form cost-model table; no simulation to shard",
+	"table1":            "single-engine microbenchmark table; one short run per row",
+	"fig2":              "single-engine breakdown figure; one short run per bar",
+	"fig5":              "single-engine latency microbenchmark; sub-second runs",
+	"fig6":              "single-engine multithreaded scaling microbenchmark; sub-second runs",
+	"fig7":              "single-engine netpipe sweep; sub-second runs",
+	"fig1":              "one OLTP simulation per mode; the grid is too small to shard",
+	"sensitivity":       "shares the fig8 harness but sweeps cost knobs; runs are short",
+	"ablation-tls":      "single-engine ablation microbenchmark",
+	"ablation-sharedpt": "one OLTP run per configuration; grid too small to shard",
+	"ablation-steal":    "one OLTP run per configuration; grid too small to shard",
+	"crosscall":         "single-engine cross-domain call microbenchmark",
+	"crosscalldeep":     "single-engine call-depth microbenchmark",
+}
+
+// shardedScenarios returns the registered scenarios that declare a
+// `shards` parameter, asserting along the way that the parameter is
+// execution-only (it must never reach the canonical parameter map) and
+// that non-declaring scenarios are exempted with a reason.
+func shardedScenarios(t *testing.T) []scenario.Scenario {
+	t.Helper()
+	var out []scenario.Scenario
+	for _, s := range scenario.Default.All() {
+		declared := false
+		for _, spec := range s.Params() {
+			if spec.Key != "shards" {
+				continue
+			}
+			declared = true
+			if !spec.Exec {
+				t.Errorf("scenario %q declares `shards` as a result parameter; it must be execution-only (Exec)", s.Name())
+			}
+		}
+		reason, exempt := shardExempt[s.Name()]
+		switch {
+		case declared && exempt:
+			t.Errorf("scenario %q both declares `shards` and is listed in shardExempt", s.Name())
+		case declared:
+			out = append(out, s)
+		case !exempt || strings.TrimSpace(reason) == "":
+			t.Errorf("scenario %q neither declares a `shards` parameter nor gives a reason in shardExempt", s.Name())
+		}
+	}
+	for name := range shardExempt {
+		if _, ok := scenario.Default.Lookup(name); !ok {
+			t.Errorf("shardExempt lists unregistered scenario %q", name)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+func TestShardedScenarioCoverage(t *testing.T) {
+	shardedScenarios(t)
+}
+
+// TestShardedScenarioDigestInvariance runs every sharded scenario at its
+// golden parameter point under shards=1, 2 and 4 and requires all three
+// canonical digests to equal the pinned golden digest. Under -short only
+// the fast entries run (the slow OLTP grids take seconds each).
+func TestShardedScenarioDigestInvariance(t *testing.T) {
+	for _, s := range shardedScenarios(t) {
+		name := s.Name()
+		g, ok := scenarioGoldens[name]
+		if !ok {
+			continue // reported by TestScenarioGoldenCoverage
+		}
+		if g.slow && testing.Short() {
+			continue
+		}
+		for _, shards := range []string{"1", "2", "4"} {
+			overrides := map[string]string{"shards": shards}
+			for k, v := range g.overrides {
+				overrides[k] = v
+			}
+			cfg, err := scenario.NewConfig(s, overrides)
+			if err != nil {
+				t.Errorf("%s shards=%s: config: %v", name, shards, err)
+				continue
+			}
+			res, err := s.Run(cfg)
+			if err != nil {
+				t.Errorf("%s shards=%s: run: %v", name, shards, err)
+				continue
+			}
+			data, err := res.MarshalCanonical()
+			if err != nil {
+				t.Errorf("%s shards=%s: marshal: %v", name, shards, err)
+				continue
+			}
+			sum := sha256.Sum256(data)
+			if got := hex.EncodeToString(sum[:]); got != g.digest {
+				t.Errorf("%s: digest at shards=%s diverged from the sequential reference:\n got %s\nwant %s",
+					name, shards, got, g.digest)
+			}
+		}
+	}
+}

@@ -152,16 +152,29 @@ func FormatDuration(t sim.Time) string {
 
 // ParamSpec declares one typed scenario parameter: its key, kind,
 // canonical default and a one-line doc string for `dipcbench list`.
+//
+// Exec marks an execution-only parameter: one that controls how the
+// simulation is executed (worker counts, shard counts) but is forbidden
+// from affecting its results. Exec parameters are excluded from
+// ParamStrings, so they never appear in canonical results or golden
+// digests — a run at shards=4 must be byte-identical to shards=1, and the
+// exclusion makes the digests say so by construction.
 type ParamSpec struct {
 	Key     string
 	Kind    Kind
 	Default string
 	Doc     string
+	Exec    bool
 }
 
 // Param is a convenience constructor for a ParamSpec.
 func Param(key string, kind Kind, def, doc string) ParamSpec {
 	return ParamSpec{Key: key, Kind: kind, Default: def, Doc: doc}
+}
+
+// ExecParam is Param for an execution-only parameter (see ParamSpec.Exec).
+func ExecParam(key string, kind Kind, def, doc string) ParamSpec {
+	return ParamSpec{Key: key, Kind: kind, Default: def, Doc: doc, Exec: true}
 }
 
 // Config carries a scenario's resolved parameter values: the declared
@@ -256,15 +269,21 @@ func (c *Config) Duration(key string) sim.Time { return c.value(key).(sim.Time) 
 // Ints returns an IntList parameter.
 func (c *Config) Ints(key string) []int { return c.value(key).([]int) }
 
-// ParamStrings returns every resolved parameter in canonical string
-// form, the map recorded in Result.Params and BenchReport entries.
+// ParamStrings returns every resolved model parameter in canonical
+// string form, the map recorded in Result.Params and BenchReport
+// entries. Execution-only parameters (ParamSpec.Exec) are omitted: they
+// are not allowed to change results, so they must not change the
+// canonical encoding either.
 func (c *Config) ParamStrings() map[string]string {
-	if len(c.specs) == 0 {
-		return nil
-	}
 	out := make(map[string]string, len(c.specs))
 	for _, spec := range c.specs {
+		if spec.Exec {
+			continue
+		}
 		out[spec.Key] = spec.Kind.Format(c.values[spec.Key])
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

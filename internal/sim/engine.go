@@ -21,6 +21,16 @@ type event struct {
 // maxTime is the open-ended run limit used by Step and Run.
 const maxTime = Time(math.MaxInt64)
 
+// satAdd adds two non-negative times, saturating at maxTime instead of
+// wrapping. The cluster horizon computation adds lookahead to "no events
+// pending" markers (maxTime), which must stay at maxTime.
+func satAdd(a, b Time) Time {
+	if s := a + b; s >= a {
+		return s
+	}
+	return maxTime
+}
+
 // Engine is a deterministic discrete-event simulator. It owns the
 // simulated clock and the event queue, and hands control to exactly one
 // goroutine at a time. All mutation of simulation state therefore happens
@@ -100,6 +110,42 @@ func (e *Engine) push(at Time, p *Proc, gen uint64, data payload, fn func()) {
 	}
 	e.events.push(event{at: at, seq: e.seq, proc: p, gen: gen, data: data, fn: fn})
 	e.events.maybeCompact()
+}
+
+// pushSeq enqueues a link-delivery event carrying an explicit,
+// caller-owned sequence number (the banded cross-link ordering, see
+// link.go) instead of the engine counter. If fn is non-nil the event runs
+// it as a callback; otherwise the event dispatches lk's handler with the
+// unboxed word v (the link rides in the payload's boxed slot — a pointer
+// store, no allocation). A delivery timestamp below the clock means a
+// sender violated its declared lookahead, which the conservative protocol
+// is supposed to make impossible — report the protocol bug loudly rather
+// than silently reordering the past.
+func (e *Engine) pushSeq(at Time, seq uint64, lk *Link, v uint64, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: link delivery at %v behind shard clock %v (lookahead violated)", at, e.now))
+	}
+	ev := event{at: at, seq: seq, fn: fn}
+	if fn == nil {
+		ev.data = payload{kind: payU64, boxed: lk, u64: v}
+	}
+	e.events.push(ev)
+}
+
+// nextLiveTime returns the timestamp of the earliest deliverable event,
+// pruning stale heads on the way. ok is false when nothing live remains.
+// Only the cluster barrier calls this, so the pruning cannot race with a
+// running shard.
+func (e *Engine) nextLiveTime() (t Time, ok bool) {
+	q := &e.events
+	for q.len() > 0 && staleEvent(q.head()) {
+		q.pop()
+		q.stale--
+	}
+	if q.len() == 0 {
+		return 0, false
+	}
+	return q.head().at, true
 }
 
 // bumpGen moves p to its next wake generation. Every event queued for the
@@ -200,8 +246,12 @@ func (e *Engine) schedule(self *Proc, isBoot bool) (payload, schedResult) {
 		}
 		e.now = ev.at
 		if ev.proc == nil {
-			if !e.runCallback(ev.fn) {
-				break // abort: hand control home; enter re-throws panicVal
+			if ev.fn != nil {
+				if !e.runCallback(ev.fn) {
+					break // abort: hand control home; enter re-throws panicVal
+				}
+			} else if !e.runLink(&ev) {
+				break
 			}
 			continue
 		}
@@ -238,6 +288,19 @@ func (e *Engine) runCallback(fn func()) (ok bool) {
 		}
 	}()
 	fn()
+	return true
+}
+
+// runLink delivers a link message event (pushSeq with fn == nil) to the
+// link's handler, with the same panic containment as runCallback.
+func (e *Engine) runLink(ev *event) (ok bool) {
+	lk := ev.data.boxed.(*Link)
+	defer func() {
+		if r := recover(); r != nil && e.panicVal == nil {
+			e.panicVal = fmt.Errorf("sim: link %d handler panicked: %v", lk.id, r)
+		}
+	}()
+	lk.handler(ev.data.u64)
 	return true
 }
 
@@ -297,11 +360,19 @@ func (e *Engine) Run() {
 // RunUntil processes events up to and including time t, then sets the
 // clock to t. Events scheduled after t remain queued.
 func (e *Engine) RunUntil(t Time) {
-	e.limit = t
-	e.budget = -1
-	e.enter()
-	e.limit = maxTime
+	e.runWindow(t)
 	if e.now < t {
 		e.now = t
 	}
+}
+
+// runWindow is RunUntil without the final clock clamp: the cluster epoch
+// loop runs each shard to its conservative horizon but needs the clock to
+// stay at the last event actually delivered, so the next epoch's horizon
+// computation sees honest times.
+func (e *Engine) runWindow(limit Time) {
+	e.limit = limit
+	e.budget = -1
+	e.enter()
+	e.limit = maxTime
 }

@@ -1,0 +1,51 @@
+package stats
+
+import "repro/internal/sim"
+
+// Accumulator collects one partition's share of a sharded measurement: a
+// time breakdown plus operation count and summed latency. Each shard (or
+// machine, or part) of a parallel simulation owns exactly one
+// accumulator and mutates it only from its own shard's engine context;
+// after the run the partitions are combined with Merge in a fixed order.
+// Because every field combines by addition — commutative and associative
+// over exact integers — merged totals are independent of the merge order,
+// but the deterministic-by-construction discipline used everywhere else
+// in this reproduction applies here too: callers merge in partition index
+// order (MergeAll) so even a future non-commutative field could not
+// introduce placement-dependent results.
+type Accumulator struct {
+	Breakdown Breakdown
+	Ops       int64
+	Latency   sim.Time // summed per-op latency; average is Latency/Ops
+}
+
+// AddOp records one completed operation and its latency.
+func (a *Accumulator) AddOp(latency sim.Time) {
+	a.Ops++
+	a.Latency += latency
+}
+
+// Merge folds other into a.
+func (a *Accumulator) Merge(other *Accumulator) {
+	a.Breakdown.AddAll(other.Breakdown)
+	a.Ops += other.Ops
+	a.Latency += other.Latency
+}
+
+// MergeAll combines the accumulators in slice order (partition index
+// order, by convention) and returns the total.
+func MergeAll(accs []*Accumulator) Accumulator {
+	var total Accumulator
+	for _, a := range accs {
+		total.Merge(a)
+	}
+	return total
+}
+
+// AvgLatency returns the mean per-op latency, 0 if no ops completed.
+func (a *Accumulator) AvgLatency() sim.Time {
+	if a.Ops == 0 {
+		return 0
+	}
+	return a.Latency / sim.Time(a.Ops)
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// synthAccs builds a deterministic set of per-shard accumulators.
+func synthAccs(n int) []*Accumulator {
+	accs := make([]*Accumulator, n)
+	for i := range accs {
+		a := &Accumulator{}
+		for b := Block(0); b < NumBlocks; b++ {
+			a.Breakdown.Add(b, sim.Time((i+1)*(int(b)+3)*7))
+		}
+		for op := 0; op < (i+2)*5; op++ {
+			a.AddOp(sim.Time(100*i + op))
+		}
+		accs[i] = a
+	}
+	return accs
+}
+
+// TestMergeEqualsSingleAccumulator: merging per-shard accumulators must
+// give exactly the totals a single accumulator would have collected had
+// every operation been charged to it directly.
+func TestMergeEqualsSingleAccumulator(t *testing.T) {
+	accs := synthAccs(5)
+	var single Accumulator
+	for i := range accs {
+		a := &Accumulator{}
+		for b := Block(0); b < NumBlocks; b++ {
+			d := sim.Time((i + 1) * (int(b) + 3) * 7)
+			a.Breakdown.Add(b, d)
+			single.Breakdown.Add(b, d)
+		}
+		for op := 0; op < (i+2)*5; op++ {
+			lat := sim.Time(100*i + op)
+			a.AddOp(lat)
+			single.AddOp(lat)
+		}
+	}
+	merged := MergeAll(accs)
+	if !reflect.DeepEqual(merged, single) {
+		t.Fatalf("merged totals diverge from single accumulator:\n got %+v\nwant %+v", merged, single)
+	}
+}
+
+// TestMergeAllDeterministicOrder pins that MergeAll folds in slice order
+// — the convention sharded simulations rely on — by checking repeated
+// merges are identical and match an explicit index-order fold.
+func TestMergeAllDeterministicOrder(t *testing.T) {
+	accs := synthAccs(7)
+	ref := MergeAll(accs)
+	for round := 0; round < 3; round++ {
+		if got := MergeAll(synthAccs(7)); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("round %d: MergeAll not deterministic", round)
+		}
+	}
+	var fold Accumulator
+	for i := 0; i < len(accs); i++ { // explicit index order
+		fold.Merge(accs[i])
+	}
+	if !reflect.DeepEqual(fold, ref) {
+		t.Fatalf("MergeAll disagrees with index-order fold:\n got %+v\nwant %+v", ref, fold)
+	}
+}
+
+func TestAvgLatency(t *testing.T) {
+	var a Accumulator
+	if a.AvgLatency() != 0 {
+		t.Fatalf("empty accumulator AvgLatency = %v, want 0", a.AvgLatency())
+	}
+	a.AddOp(10)
+	a.AddOp(30)
+	if got := a.AvgLatency(); got != 20 {
+		t.Fatalf("AvgLatency = %v, want 20", got)
+	}
+}
