@@ -8,6 +8,7 @@
 package netpipe
 
 import (
+	"repro/internal/faults"
 	"repro/internal/kernel"
 	"repro/internal/sim"
 )
@@ -19,17 +20,38 @@ type NIC struct {
 	m *kernel.Machine
 	// wireFree is when the transmit wire becomes available again.
 	wireFree sim.Time
+	// flt is the optional failure hook: loss windows gate Up, and
+	// degradation windows stretch FlightTime. Nil (the default) is a
+	// healthy link with zero added cost.
+	flt *faults.LinkState
 }
 
 // NewNIC attaches a NIC model to the machine.
 func NewNIC(m *kernel.Machine) *NIC { return &NIC{m: m} }
 
+// SetFaults attaches a failure state to the NIC's transmit path. The
+// LinkState must be owned by this machine's shard (the fault injector
+// toggles it on this machine's engine).
+func (n *NIC) SetFaults(ls *faults.LinkState) { n.flt = ls }
+
+// Faults returns the attached failure state (nil when none).
+func (n *NIC) Faults() *faults.LinkState { return n.flt }
+
+// Up reports whether the transmit link is currently delivering; a send
+// attempted while the link is down must be dropped by the caller (and
+// counted via the LinkState).
+func (n *NIC) Up() bool { return n.flt.Up() }
+
 // FlightTime is the one-way latency of a size-byte message: base latency
-// plus wire time. Exported so multi-machine models can use the same
-// figure when delaying deliveries over a sim.Cluster link.
+// plus wire time, stretched by any active degradation window. Exported
+// so multi-machine models can use the same figure when delaying
+// deliveries over a sim.Cluster link; the degradation is additive, so
+// FlightTime never drops below Lookahead.
 func (n *NIC) FlightTime(size int) sim.Time {
 	p := n.m.P
-	return p.NICBaseLatency + sim.Time(float64(size)/p.NICBytesPerNs*float64(sim.Nanosecond))
+	return p.NICBaseLatency +
+		sim.Time(float64(size)/p.NICBytesPerNs*float64(sim.Nanosecond)) +
+		n.flt.ExtraDelay()
 }
 
 // flightTime is the unexported spelling kept for the intra-package call

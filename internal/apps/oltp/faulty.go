@@ -1,0 +1,374 @@
+package oltp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/faults"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Failure-aware OLTP path: the fault-free runners (Run, RunChain) model a
+// world where every call succeeds, which is what the paper measures. This
+// file adds the first real error path — per-call fault verdicts, a
+// deadline/backoff retry policy, in-band error propagation up a tier
+// chain — so the chaos scenarios can measure how each transport degrades
+// when tiers die, links drop, or calls time out. Everything here is
+// additive: with a nil plan the TryCall paths make exactly the same
+// charges as Call, and the fault-free scenarios never enter this file.
+
+// RemoteError is an in-band failure traveling up the chain as an
+// ordinary response payload — the simulation analogue of a 5xx page: the
+// transport delivered fine, the tier behind it did not.
+type RemoteError struct {
+	Tier string // the tier that failed, e.g. "svc3"
+	Err  error  // why
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return fmt.Sprintf("remote %s: %v", e.Tier, e.Err) }
+
+// Unwrap exposes the cause for errors.Is chains.
+func (e *RemoteError) Unwrap() error { return e.Err }
+
+// unwrapRemote converts an in-band RemoteError payload into a Go error;
+// any other payload passes through. All TryCall implementations funnel
+// handler output through this, so a failure N tiers down surfaces at the
+// client as an error without any transport growing an error channel.
+func unwrapRemote(out any) (any, error) {
+	if re, ok := out.(*RemoteError); ok {
+		return nil, re
+	}
+	return out, nil
+}
+
+// injectFault draws one verdict from the call site and acts it out on
+// the calling thread: a drop burns the site's penalty (the caller's
+// deadline — a lost request is indistinguishable from a slow one until
+// the timer fires) and reports ErrTimeout, a fail reports ErrInjected
+// immediately, a slow stretches the call and succeeds. Nil site: no
+// draw, no cost, no error.
+func injectFault(t *kernel.Thread, site *faults.CallSite) error {
+	v, d := site.Draw()
+	switch v {
+	case faults.VerdictDrop:
+		t.SleepFor(d)
+		return fmt.Errorf("%s: %w", site.Name(), faults.ErrTimeout)
+	case faults.VerdictFail:
+		return fmt.Errorf("%s: %w", site.Name(), faults.ErrInjected)
+	case faults.VerdictSlow:
+		t.SleepFor(d)
+	}
+	return nil
+}
+
+// Retrier wraps a Transport with a capped-exponential-backoff retry
+// policy and failure accounting. Its TryCall re-attempts the inner call
+// up to Policy.MaxRetries times, sleeping Policy.BackoffFor(k) between
+// attempts; its Call panics on residual error (fault-free configurations
+// should never wrap transports in a Retrier and then fail).
+type Retrier struct {
+	Inner  Transport
+	Policy faults.RetryPolicy
+	// Rel receives attempt-level accounting (may be nil). It must be
+	// owned by the same shard as every thread calling through this
+	// transport.
+	Rel *stats.Reliability
+}
+
+// Call implements Transport.
+func (r *Retrier) Call(t *kernel.Thread, op string, payload any, reqBytes int) any {
+	out, err := r.TryCall(t, op, payload, reqBytes)
+	if err != nil {
+		panic(fmt.Sprintf("oltp: retries exhausted for %q: %v", op, err))
+	}
+	return out
+}
+
+// TryCall implements Transport with retries: attempt, classify, back
+// off, repeat. The residual error after the last attempt is returned.
+func (r *Retrier) TryCall(t *kernel.Thread, op string, payload any, reqBytes int) (any, error) {
+	var lastErr error
+	for a := 0; a <= r.Policy.MaxRetries; a++ {
+		if a > 0 {
+			if r.Rel != nil {
+				r.Rel.Retries++
+			}
+			t.SleepFor(r.Policy.BackoffFor(a - 1))
+		}
+		if r.Rel != nil {
+			r.Rel.Attempts++
+		}
+		out, err := r.Inner.TryCall(t, op, payload, reqBytes)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if r.Rel != nil {
+			if errors.Is(err, faults.ErrTimeout) {
+				r.Rel.Timeouts++
+			} else {
+				r.Rel.Faults++
+			}
+		}
+	}
+	return nil, lastErr
+}
+
+// Calls implements Transport (attempts count: each retry is a real call).
+func (r *Retrier) Calls() uint64 { return r.Inner.Calls() }
+
+// Lookahead implements Transport.
+func (r *Retrier) Lookahead() sim.Time { return r.Inner.Lookahead() }
+
+// ChainFaultsConfig is a chain run with a fault plan and retry policy.
+type ChainFaultsConfig struct {
+	ChainConfig
+	// Plan is the fault schedule (nil or empty: a fault-free run that
+	// still exercises the TryCall/Retrier path).
+	Plan *faults.Plan
+	// Retry applies at every hop, gateway included. Zero-value fields
+	// default to Deadline 500us, Backoff 20us, MaxBackoff uncapped,
+	// MaxRetries 0 (no retry).
+	Retry faults.RetryPolicy
+}
+
+// ChainFaultsResult is the degradation-under-failure measurement.
+type ChainFaultsResult struct {
+	Config       ChainFaultsConfig
+	Rel          stats.Reliability // window delta of all failure counters
+	Goodput      float64           // successful ops per second
+	ErrorRate    float64           // failed / offered
+	Availability float64           // succeeded / offered
+	RetryAmp     float64           // attempts per operation
+	AvgLatency   sim.Time          // mean latency of in-window completions that succeeded
+	Breakdown    stats.Breakdown
+}
+
+// RunChainFaults executes one chain configuration under a fault plan.
+// It mirrors RunChain's wiring — same tiers, same transports, same
+// closed-loop clients — but every hop goes through TryCall behind a
+// Retrier, tier failures travel up as RemoteErrors, and the plan's
+// events fire on the sim clock via a faults.Injector. Process targets
+// are named "gateway" and "svc1".."svcN" ("chain-app" for Ideal); the
+// machine target is "m0"; per-call fault sites are "hop1".."hopN".
+func RunChainFaults(cfg ChainFaultsConfig) *ChainFaultsResult {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 1
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 8
+	}
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 4
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = cfg.Threads
+	}
+	if cfg.Work == 0 {
+		cfg.Work = sim.Micros(20)
+	}
+	if cfg.ReqBytes <= 0 {
+		cfg.ReqBytes = 256
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = sim.Millis(20)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = sim.Millis(100)
+	}
+	if cfg.Cost == nil {
+		cfg.Cost = cost.Default()
+	}
+	if cfg.Retry.Deadline == 0 {
+		cfg.Retry.Deadline = sim.Micros(500)
+	}
+	if cfg.Retry.Backoff == 0 {
+		cfg.Retry.Backoff = sim.Micros(20)
+	}
+
+	eng := sim.NewEngine(cfg.Seed + 1)
+	m := kernel.NewMachine(eng, cfg.Cost, cfg.CPUs)
+	prm := DefaultParams()
+	ingress := NewIngress(prm)
+	rel := &stats.Reliability{}
+	inj := faults.NewInjector(cfg.Plan)
+	inj.Machine("m0", m)
+
+	// site names the per-call fault stream of the hop into tier i; a
+	// dropped request costs its caller exactly the retry deadline.
+	site := func(i int) *faults.CallSite {
+		return cfg.Plan.Site(fmt.Sprintf("hop%d", i), cfg.Retry.Deadline)
+	}
+	wrap := func(tr Transport) Transport {
+		return &Retrier{Inner: tr, Policy: cfg.Retry, Rel: rel}
+	}
+
+	transports := make([]Transport, cfg.Depth)
+	handler := func(i int) Handler {
+		return func(t *kernel.Thread, op string, payload any) (any, int) {
+			t.ExecUser(cfg.Work)
+			if i < cfg.Depth {
+				if _, err := transports[i].TryCall(t, "hop", payload, cfg.ReqBytes); err != nil {
+					return &RemoteError{Tier: fmt.Sprintf("svc%d", i+1), Err: err}, cfg.ReqBytes
+				}
+			}
+			return payload, cfg.ReqBytes
+		}
+	}
+
+	var front *kernel.Process
+	var rt *core.Runtime
+	switch cfg.Mode {
+	case ModeIdeal:
+		front = m.NewProcess("chain-app")
+		inj.Proc("chain-app", m, front)
+		for i := 1; i <= cfg.Depth; i++ {
+			transports[i-1] = wrap(&DirectTransport{H: handler(i), Faults: site(i)})
+		}
+
+	case ModeLinux:
+		front = m.NewProcess("gateway")
+		front.WorkingSet = 48 << 10
+		inj.Proc("gateway", m, front)
+		for i := 1; i <= cfg.Depth; i++ {
+			proc := m.NewProcess(fmt.Sprintf("svc%d", i))
+			proc.WorkingSet = 96 << 10
+			inj.Proc(proc.Name, m, proc)
+			st := NewSockTransport(prm, handler(i))
+			st.Proc = proc
+			st.Faults = site(i)
+			transports[i-1] = wrap(st)
+			for w := 0; w < cfg.Threads; w++ {
+				m.Spawn(proc, fmt.Sprintf("svc%d-%d", i, w), nil, st.Worker)
+			}
+		}
+
+	case ModeDIPC:
+		rt = core.NewRuntime(m)
+		rt.FoldStubs = true
+		front = rt.NewProcess("gateway")
+		inj.Proc("gateway", m, front)
+		svc := make([]*kernel.Process, cfg.Depth+1)
+		for i := 1; i <= cfg.Depth; i++ {
+			svc[i] = rt.NewProcess(fmt.Sprintf("svc%d", i))
+			inj.Proc(svc[i].Name, m, svc[i])
+		}
+		calleePolicy := core.RegConfidentiality | core.StackConfIntegrity | core.DCSConfIntegrity
+		sig := core.Signature{InRegs: 2, OutRegs: 1}
+		for i := cfg.Depth; i >= 1; i-- {
+			i := i
+			m.Spawn(svc[i], fmt.Sprintf("svc%d-init", i), nil, func(t *kernel.Thread) {
+				mustEnter(rt, t)
+				if i < cfg.Depth {
+					ents, err := rt.MustImport(t, chainPath(i+1), []core.EntryDesc{
+						{Name: "hop", Sig: sig},
+					})
+					if err != nil {
+						panic(err)
+					}
+					tr := NewDIPCTransport(map[string]*core.ImportedEntry{"hop": ents[0]})
+					tr.Faults = site(i + 1)
+					transports[i] = wrap(tr)
+				}
+				eh, err := rt.EntryRegister(t, rt.DomDefault(t), []core.EntryDesc{
+					{Name: "hop", Fn: handlerEntry(handler(i), "hop"), Sig: sig, Policy: calleePolicy},
+				})
+				if err != nil {
+					panic(err)
+				}
+				if err := rt.Publish(t, chainPath(i), eh); err != nil {
+					panic(err)
+				}
+			})
+			eng.Run()
+		}
+		m.Spawn(front, "gateway-init", nil, func(t *kernel.Thread) {
+			mustEnter(rt, t)
+			ents, err := rt.MustImport(t, chainPath(1), []core.EntryDesc{{Name: "hop", Sig: sig}})
+			if err != nil {
+				panic(err)
+			}
+			tr := NewDIPCTransport(map[string]*core.ImportedEntry{"hop": ents[0]})
+			tr.Faults = site(1)
+			transports[0] = wrap(tr)
+		})
+		eng.Run()
+
+	default:
+		panic("oltp: unknown chain mode")
+	}
+
+	// The plan is wired; schedule its events on the sim clock. A plan
+	// naming a target this mode doesn't have (e.g. killing "svc2" under
+	// Ideal, whose tiers share one process) is a scenario bug — fail loud.
+	if err := inj.Install(); err != nil {
+		panic(fmt.Sprintf("oltp: chaos plan: %v", err))
+	}
+
+	// Gateway worker pool: drives the chain, reports the outcome in-band.
+	for w := 0; w < cfg.Threads; w++ {
+		m.Spawn(front, fmt.Sprintf("gw-%d", w), nil, func(t *kernel.Thread) {
+			if rt != nil {
+				mustEnter(rt, t)
+			}
+			for {
+				req := ingress.Recv(t)
+				t.ExecUser(cfg.Work)
+				_, err := transports[0].TryCall(t, "hop", nil, cfg.ReqBytes)
+				req.err = err
+				ingress.Reply(t, req)
+			}
+		})
+	}
+
+	// Closed-loop clients. Ops/latency gate client-side on completion
+	// time; the attempt-level counters window via snapshot-subtraction.
+	measStart := cfg.Warmup
+	measEnd := cfg.Warmup + cfg.Window
+	var latSum sim.Time
+	var latOps int64
+	for c := 0; c < cfg.Clients; c++ {
+		eng.Spawn(fmt.Sprintf("chain-client-%d", c), 0, func(p *sim.Proc) {
+			for {
+				req := &request{started: p.Now()}
+				req.done = p.PrepareWait()
+				ingress.Submit(req)
+				p.Wait()
+				if end := p.Now(); end >= measStart && end <= measEnd {
+					if req.err != nil {
+						rel.OpsFailed++
+					} else {
+						rel.OpsOK++
+						latSum += end - req.started
+						latOps++
+					}
+				}
+			}
+		})
+	}
+
+	var baseRel stats.Reliability
+	var baseBd stats.Breakdown
+	eng.At(measStart, func() { baseRel = *rel; baseBd = m.Snapshot() })
+	eng.RunUntil(measEnd)
+
+	window := rel.Sub(baseRel)
+	res := &ChainFaultsResult{
+		Config:       cfg,
+		Rel:          window,
+		Goodput:      window.Goodput(cfg.Window),
+		ErrorRate:    window.ErrorRate(),
+		Availability: window.Availability(),
+		RetryAmp:     window.RetryAmplification(),
+		Breakdown:    m.Snapshot().Sub(baseBd),
+	}
+	if latOps > 0 {
+		res.AvgLatency = latSum / sim.Time(latOps)
+	}
+	return res
+}

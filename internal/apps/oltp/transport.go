@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/ipc"
 	"repro/internal/kernel"
 	"repro/internal/sim"
@@ -20,6 +21,11 @@ type Handler func(t *kernel.Thread, op string, payload any) (any, int)
 type Transport interface {
 	// Call performs one synchronous request and returns the result.
 	Call(t *kernel.Thread, op string, payload any, reqBytes int) any
+	// TryCall is the failure-aware spelling of Call: it surfaces dead
+	// callees, injected faults, and in-band remote errors instead of
+	// panicking. Fault-free transports behave identically to Call and
+	// always return a nil error.
+	TryCall(t *kernel.Thread, op string, payload any, reqBytes int) (any, error)
 	// Calls returns how many calls went through (for the §7.5
 	// calls-per-operation accounting).
 	Calls() uint64
@@ -39,6 +45,9 @@ type Transport interface {
 type DirectTransport struct {
 	H     Handler
 	calls uint64
+	// Faults, when set, draws a per-call verdict before each TryCall
+	// (nil for fault-free runs; the plain Call path never consults it).
+	Faults *faults.CallSite
 }
 
 // Call implements Transport.
@@ -47,6 +56,18 @@ func (d *DirectTransport) Call(t *kernel.Thread, op string, payload any, reqByte
 	t.Exec(t.Machine().P.FuncCall, stats.BlockUser)
 	out, _ := d.H(t, op, payload)
 	return out
+}
+
+// TryCall implements Transport: like Call, but an injected fault or an
+// in-band RemoteError from the handler comes back as an error.
+func (d *DirectTransport) TryCall(t *kernel.Thread, op string, payload any, reqBytes int) (any, error) {
+	d.calls++
+	if err := injectFault(t, d.Faults); err != nil {
+		return nil, err
+	}
+	t.Exec(t.Machine().P.FuncCall, stats.BlockUser)
+	out, _ := d.H(t, op, payload)
+	return unwrapRemote(out)
 }
 
 // Calls implements Transport.
@@ -66,6 +87,12 @@ type SockTransport struct {
 	h       Handler
 	replies map[*kernel.Thread]*ipc.Socket
 	calls   uint64
+	// Faults, when set, draws a per-call verdict before each TryCall.
+	Faults *faults.CallSite
+	// Proc is the serving process; when set and dead, TryCall fails fast
+	// (connection refused) instead of queueing to a pool that will never
+	// accept. The plain Call path ignores it.
+	Proc *kernel.Process
 }
 
 // sockReq is the wire request.
@@ -100,6 +127,31 @@ func (s *SockTransport) Call(t *kernel.Thread, op string, payload any, reqBytes 
 	return msg.Payload
 }
 
+// TryCall implements Transport: a dead serving process refuses the
+// connection, injected faults surface as errors, and a handler's in-band
+// RemoteError is unwrapped. Requests already accepted before a kill are
+// still answered — worker threads drain in flight, like a TCP stack
+// flushing established connections while refusing new ones.
+func (s *SockTransport) TryCall(t *kernel.Thread, op string, payload any, reqBytes int) (any, error) {
+	s.calls++
+	if s.Proc != nil && s.Proc.Dead {
+		return nil, fmt.Errorf("oltp: connect %s: %w", s.Proc.Name, faults.ErrDead)
+	}
+	if err := injectFault(t, s.Faults); err != nil {
+		return nil, err
+	}
+	reply := s.replies[t]
+	if reply == nil {
+		reply = ipc.NewConn(0).AtoB
+		s.replies[t] = reply
+	}
+	t.ExecUser(s.prm.ProtoMarshal) // marshal request
+	s.req.Send(t, ipc.Message{Size: reqBytes, Payload: &sockReq{op: op, payload: payload, reply: reply}})
+	msg := reply.Recv(t)
+	t.ExecUser(s.prm.ProtoMarshal) // unmarshal response
+	return unwrapRemote(msg.Payload)
+}
+
 // Calls implements Transport.
 func (s *SockTransport) Calls() uint64 { return s.calls }
 
@@ -130,6 +182,8 @@ type DIPCTransport struct {
 	// before calling (the CODOMs subject comes from the instruction
 	// pointer).
 	runtimeHint *core.Runtime
+	// Faults, when set, draws a per-call verdict before each TryCall.
+	Faults *faults.CallSite
 }
 
 // NewDIPCTransport wraps resolved entries keyed by operation name.
@@ -152,6 +206,29 @@ func (d *DIPCTransport) Call(t *kernel.Thread, op string, payload any, reqBytes 
 		return nil
 	}
 	return out.Data
+}
+
+// TryCall implements Transport: dIPC's own error path (a dead callee
+// fails the proxy's liveness check) propagates as an error instead of a
+// panic, so chaos runs exercise the same descriptor revalidation the
+// core layer implements.
+func (d *DIPCTransport) TryCall(t *kernel.Thread, op string, payload any, reqBytes int) (any, error) {
+	d.calls++
+	if err := injectFault(t, d.Faults); err != nil {
+		return nil, err
+	}
+	ent, ok := d.entries[op]
+	if !ok {
+		return nil, fmt.Errorf("oltp: no dIPC entry for %q", op)
+	}
+	out, err := ent.Call(t, &core.Args{Data: payload, StackBytes: 64})
+	if err != nil {
+		return nil, fmt.Errorf("oltp: dIPC call %q: %w", op, err)
+	}
+	if out == nil {
+		return nil, nil
+	}
+	return unwrapRemote(out.Data)
 }
 
 // Calls implements Transport.

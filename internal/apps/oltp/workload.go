@@ -79,6 +79,9 @@ type request struct {
 	op      *Operation
 	started sim.Time
 	done    sim.Waiter
+	// err is the failure outcome reported back to the client; only the
+	// fault-aware runners (RunChainFaults) ever set it.
+	err error
 }
 
 // Ingress models the HTTP front door: clients live off-machine (the

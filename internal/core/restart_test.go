@@ -1,0 +1,70 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// TestDescriptorCachesSurviveKillRestart pins the cached call
+// descriptor's behavior across a callee crash/recovery cycle: while the
+// callee process is dead every call through the warm descriptor must
+// fail fast with the dead-callee error (no stale verdict may let a call
+// cross into a dead process), and after Restart the very same imported
+// entry must work again — at exactly the warm per-call cost, proving the
+// precompiled descriptor and its memoized verdicts revalidated instead
+// of being rebuilt or, worse, bypassed.
+func TestDescriptorCachesSurviveKillRestart(t *testing.T) {
+	w := newWorld(1)
+	w.export(t, PolicyLow, func(th *kernel.Thread, in *Args) *Args {
+		return &Args{Regs: []uint64{in.Regs[0] + in.Regs[1]}}
+	})
+	w.run(t, w.web, func(th *kernel.Thread) {
+		ents, err := w.rt.MustImport(th, "/run/db.sock", []EntryDesc{{
+			Name: "query", Sig: Signature{InRegs: 2, OutRegs: 1}, Policy: PolicyLow,
+		}})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		args := &Args{Regs: []uint64{20, 22}}
+		if _, err := ents[0].Call(th, args); err != nil { // cold track path
+			t.Error(err)
+			return
+		}
+		var warm sim.Time
+		for i := 0; i < 3; i++ { // warm every cache; record the steady cost
+			start := w.eng.Now()
+			out, err := ents[0].Call(th, args)
+			if err != nil || out == nil || out.Regs[0] != 42 {
+				t.Errorf("warm call %d: out=%+v err=%v", i, out, err)
+				return
+			}
+			warm = w.eng.Now() - start
+		}
+
+		w.m.Kill(w.db)
+		for i := 0; i < 2; i++ {
+			if _, err := ents[0].Call(th, args); err == nil {
+				t.Error("call through a warm descriptor crossed into a dead process")
+				return
+			} else if !strings.Contains(err.Error(), "dead") {
+				t.Errorf("dead-callee call %d failed with %v, want the dead-process error", i, err)
+				return
+			}
+		}
+
+		w.m.Restart(w.db)
+		start := w.eng.Now()
+		out, err := ents[0].Call(th, args)
+		if err != nil || out == nil || out.Regs[0] != 42 {
+			t.Errorf("post-restart call: out=%+v err=%v", out, err)
+			return
+		}
+		if got := w.eng.Now() - start; got != warm {
+			t.Errorf("post-restart call charged %v, warm pre-kill call charged %v (descriptor not revalidated in place)", got, warm)
+		}
+	})
+}

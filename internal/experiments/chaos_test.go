@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/apps/oltp"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// TestChainFaultsNilPlanIsClean: the failure-aware chain runner with no
+// plan must behave like a healthy system — every operation succeeds,
+// nothing retries, nothing times out. This is the fault-free half of the
+// chaos determinism contract (the golden digests pin the other half:
+// the fault-free scenarios' bytes are untouched by this machinery).
+func TestChainFaultsNilPlanIsClean(t *testing.T) {
+	for _, mode := range []oltp.Mode{oltp.ModeLinux, oltp.ModeDIPC, oltp.ModeIdeal} {
+		r := oltp.RunChainFaults(oltp.ChainFaultsConfig{
+			ChainConfig: oltp.ChainConfig{
+				Mode: mode, Depth: 3, Threads: 4,
+				Work: sim.Micros(10), Warmup: sim.Millis(2), Window: sim.Millis(5), Seed: 5,
+			},
+			Retry: faults.RetryPolicy{Deadline: sim.Micros(300), MaxRetries: 2, Backoff: sim.Micros(10)},
+		})
+		if r.Rel.OpsOK == 0 {
+			t.Errorf("%v: no operations completed", mode)
+		}
+		if r.Rel.OpsFailed != 0 || r.Rel.Retries != 0 || r.Rel.Timeouts != 0 || r.Rel.Faults != 0 {
+			t.Errorf("%v: fault-free run reported failures: %+v", mode, r.Rel)
+		}
+		if r.Availability != 1 || r.ErrorRate != 0 {
+			t.Errorf("%v: availability %v, error rate %v; want 1, 0", mode, r.Availability, r.ErrorRate)
+		}
+		if r.Goodput <= 0 {
+			t.Errorf("%v: goodput %v, want > 0", mode, r.Goodput)
+		}
+	}
+}
+
+// TestRackChaosKillCrossShard kills a service tier that lives on a
+// different shard than the clients, mid-window, with no restart. The
+// clients must observe errors (deadline expiries), not hangs — the run
+// completes and both successes and failures are counted — and the
+// outcome must be identical at shards=1, 2 and 4: crash unwinding may
+// not depend on which host core the dead machine simulates on.
+func TestRackChaosKillCrossShard(t *testing.T) {
+	run := func(shards int) *RackChaosResult {
+		return RunRackChaos(RackChaosConfig{
+			RackConfig: RackConfig{
+				Machines: 4, CPUs: 2, Workers: 2, Clients: 8, ReqBytes: 4096,
+				Work: sim.Micros(5), Window: sim.Millis(6), Warmup: sim.Millis(2),
+				Seed: 5, Shards: shards,
+			},
+			Plan: &faults.Plan{Seed: 5, Events: []faults.Event{
+				{At: sim.Millis(4), Kind: faults.KillProc, Target: "svc2"},
+			}},
+			Retry: faults.RetryPolicy{Deadline: sim.Micros(150), MaxRetries: 1, Backoff: sim.Micros(10)},
+		})
+	}
+	ref := run(1)
+	if ref.Rel.OpsOK == 0 {
+		t.Fatal("no successful operations before the kill")
+	}
+	if ref.Rel.OpsFailed == 0 {
+		t.Fatal("killing a mid-ring tier produced no client-visible failures")
+	}
+	if ref.Rel.Timeouts == 0 {
+		t.Fatal("cross-machine failures should surface as deadline expiries")
+	}
+	if ref.Rel.Drops == 0 {
+		t.Fatal("the dead tier should be discarding deliveries")
+	}
+	for _, shards := range []int{2, 4} {
+		r := run(shards)
+		if r.Rel != ref.Rel {
+			t.Errorf("shards=%d reliability diverged:\n got %+v\nwant %+v", shards, r.Rel, ref.Rel)
+		}
+		if r.Merged.Ops != ref.Merged.Ops || r.Merged.Latency != ref.Merged.Latency {
+			t.Errorf("shards=%d ops/latency diverged: got (%d, %v), want (%d, %v)",
+				shards, r.Merged.Ops, r.Merged.Latency, ref.Merged.Ops, ref.Merged.Latency)
+		}
+	}
+}

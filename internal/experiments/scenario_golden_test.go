@@ -49,6 +49,12 @@ var scenarioGoldens = map[string]struct {
 	"crosscalldeep": {nil, "36e8a478a68eb33a3584a721d4efa69499fe154a60bf58d37e1de4632949ae40", false},
 	"rack": {map[string]string{"window": "10ms", "warmup": "2ms"},
 		"c1ce13c9be9945c7278c6db36ea4169708fb446163f6e22a2f2aba342928df4f", false},
+	"chaos-kill": {map[string]string{"window": "10ms", "warmup": "3ms", "killat": "5ms", "restartat": "8ms"},
+		"7f32add425ad9aba7d990c17f4f278e436476098422a705f48109c0070b827e7", false},
+	"chaos-rack": {map[string]string{"window": "8ms", "warmup": "2ms", "flapperiod": "3ms", "flapdown": "1ms"},
+		"c20c57ea64aaa4fb62eae089670cf9779d542dfa2f364bf0ffd6b5b62bff0cc6", false},
+	"chaos-retrystorm": {map[string]string{"window": "5ms", "warmup": "2ms"},
+		"f0c66941f4676fc9881adc2da2f0d9ce535c2925f831342c719133a4909bf661", false},
 }
 
 // TestScenarioGoldenCoverage enforces, by iterating the registry, that

@@ -120,3 +120,18 @@ func (m *Machine) Kill(p *Process) {
 	p.Dead = true
 	delete(m.procs, p.PID)
 }
+
+// Restart revives a killed process in place: the same address space,
+// descriptor table and dIPC registrations come back up — the model's
+// analogue of a supervisor restarting a crashed tier under the same
+// identity. Callers that cached cross-domain call verdicts against the
+// old incarnation must revalidate rather than trust them blindly; the
+// descriptor tests in internal/core pin that contract across a
+// Kill/Restart cycle.
+func (m *Machine) Restart(p *Process) {
+	if !p.Dead {
+		return
+	}
+	p.Dead = false
+	m.procs[p.PID] = p
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 )
 
@@ -44,6 +45,7 @@ import (
 type Cluster struct {
 	shards []*Shard
 	links  []*Link
+	epoch  uint64 // barrier iterations completed (diagnostics)
 
 	// Per-epoch scratch, reused so the barrier allocates nothing in
 	// steady state.
@@ -52,6 +54,93 @@ type Cluster struct {
 	horizon  []Time
 	runnable []*Shard
 	xlinks   []*Link // links with from != to (the only ones that buffer)
+}
+
+// ShardPanicError is the structured wrapper a Cluster run panics with
+// when a shard's engine surfaced a panic: it carries which shard blew
+// up, that shard's clock at the time, and the link epoch, so a chaos
+// run's post-mortem does not start from a bare string.
+type ShardPanicError struct {
+	Shard int    // index of the panicking shard
+	Clock Time   // the shard's simulated clock when the panic surfaced
+	Epoch uint64 // barrier epochs completed when it surfaced
+	Value any    // the engine-contained panic value
+}
+
+func (e *ShardPanicError) Error() string {
+	return fmt.Sprintf("sim: shard %d panicked at t=%v (link epoch %d): %v",
+		e.Shard, e.Clock, e.Epoch, e.Value)
+}
+
+// Unwrap exposes the contained engine error for errors.Is/As chains.
+func (e *ShardPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// EpochStallError reports a barrier epoch that could not advance any
+// shard even though live events remained — a broken-lookahead invariant.
+// It names the parked procs per shard so the stall is debuggable instead
+// of an opaque spin.
+type EpochStallError struct {
+	Epoch   uint64
+	Blocked []string // "shardN/procname" entries
+}
+
+func (e *EpochStallError) Error() string {
+	return fmt.Sprintf("sim: cluster epoch %d made no progress; blocked procs: %s",
+		e.Epoch, strings.Join(e.Blocked, ", "))
+}
+
+// ClusterDeadlockError reports that every shard went quiet with procs
+// still parked — the cluster analogue of Engine's DeadlockError, emitted
+// by the stalled-run watchdog instead of letting the caller discover a
+// silent hang-shaped result.
+type ClusterDeadlockError struct {
+	Blocked []string // "shardN/procname" entries
+}
+
+func (e *ClusterDeadlockError) Error() string {
+	const show = 8
+	names := e.Blocked
+	extra := ""
+	if len(names) > show {
+		extra = fmt.Sprintf(" and %d more", len(names)-show)
+		names = names[:show]
+	}
+	return fmt.Sprintf("sim: cluster deadlock: %d proc(s) blocked with no pending event: %s%s",
+		len(e.Blocked), strings.Join(names, ", "), extra)
+}
+
+// blockedProcs collects every shard's parked-with-no-wakeup procs as
+// "shardN/name" entries, in shard order.
+func (c *Cluster) blockedProcs() []string {
+	var out []string
+	for _, s := range c.shards {
+		for _, name := range s.eng.BlockedProcs() {
+			out = append(out, fmt.Sprintf("shard%d/%s", s.idx, name))
+		}
+	}
+	return out
+}
+
+// Deadlock returns a ClusterDeadlockError naming the blocked procs if
+// any shard has live procs but no shard has a deliverable event, nil
+// otherwise.
+func (c *Cluster) Deadlock() error {
+	live := 0
+	for _, s := range c.shards {
+		if s.eng.PendingLive() > 0 {
+			return nil
+		}
+		live += s.eng.Live()
+	}
+	if live == 0 {
+		return nil
+	}
+	return &ClusterDeadlockError{Blocked: c.blockedProcs()}
 }
 
 // Shard is one partition of a Cluster: an Engine plus its cluster wiring.
@@ -155,10 +244,13 @@ func (c *Cluster) RunUntil(t Time) {
 	}
 }
 
-// Run processes events until every shard's queue is empty (deadlocked
-// procs, as with Engine.Run, are left parked for the caller to inspect).
-func (c *Cluster) Run() {
+// Run processes events until every shard's queue is empty. Deadlocked
+// procs are left parked, and the watchdog names them in the returned
+// ClusterDeadlockError rather than handing back a silent hang-shaped
+// result; callers that park service pools on purpose ignore it.
+func (c *Cluster) Run() error {
 	c.run(maxTime)
+	return c.Deadlock()
 }
 
 // run is the epoch loop. Each iteration: drain cross-shard buffers into
@@ -228,12 +320,14 @@ func (c *Cluster) run(t Time) {
 				c.runnable = append(c.runnable, s)
 			}
 		}
+		c.epoch++
 		switch len(c.runnable) {
 		case 0:
 			// Positive lookahead makes this unreachable (the shard
-			// owning tMin always clears its horizon); fail loudly
-			// rather than spin if the invariant is ever broken.
-			panic("sim: cluster epoch made no progress")
+			// owning tMin always clears its horizon); fail loudly —
+			// naming the parked procs — rather than spin if the
+			// invariant is ever broken.
+			panic(&EpochStallError{Epoch: c.epoch, Blocked: c.blockedProcs()})
 		case 1:
 			s := c.runnable[0]
 			runShard(s, c.horizon[s.idx]-1)
@@ -252,7 +346,7 @@ func (c *Cluster) run(t Time) {
 			if s.panicVal != nil {
 				v := s.panicVal
 				s.panicVal = nil
-				panic(v)
+				panic(&ShardPanicError{Shard: s.idx, Clock: s.eng.now, Epoch: c.epoch, Value: v})
 			}
 		}
 	}

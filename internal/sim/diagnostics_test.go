@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestRunNamesDeadlockedProcs: when the queue drains with procs still
+// parked, Run must say who is stuck instead of returning silently.
+func TestRunNamesDeadlockedProcs(t *testing.T) {
+	e := NewEngine(1)
+	for _, name := range []string{"stuck-a", "stuck-b"} {
+		e.Spawn(name, 0, func(p *Proc) {
+			p.PrepareWait()
+			p.Wait() // nobody will ever wake this
+		})
+	}
+	e.Spawn("finisher", 0, func(p *Proc) { p.Sleep(5) })
+	err := e.Run()
+	if err == nil {
+		t.Fatalf("Run returned nil with %d procs parked", e.Live())
+	}
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run returned %T, want *DeadlockError", err)
+	}
+	if len(dl.Blocked) != 2 {
+		t.Fatalf("DeadlockError names %v, want the two stuck procs", dl.Blocked)
+	}
+	for _, want := range []string{"stuck-a", "stuck-b"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnostic %q does not name %q", err.Error(), want)
+		}
+	}
+	if strings.Contains(err.Error(), "finisher") {
+		t.Errorf("diagnostic %q names a proc that finished", err.Error())
+	}
+}
+
+// TestRunNoDeadlockWhenAllFinish: a clean completion returns nil.
+func TestRunNoDeadlockWhenAllFinish(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("worker", 0, func(p *Proc) { p.Sleep(10) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run of a completing sim returned %v", err)
+	}
+}
+
+// TestClusterShardPanicStructured: a shard panic must surface as a
+// ShardPanicError carrying the shard index, its clock and the epoch —
+// not the raw value.
+func TestClusterShardPanicStructured(t *testing.T) {
+	c := NewCluster(1, 3)
+	for i := 0; i < 3; i++ {
+		s := c.Shard(i)
+		l := c.Connect(s, c.Shard((i+1)%3), 10)
+		l.SetHandler(func(uint64) {})
+		ll := l
+		s.Engine().Spawn(fmt.Sprintf("busy%d", i), 0, func(p *Proc) {
+			for k := 0; k < 100; k++ {
+				p.Sleep(7)
+				ll.SendU64(10, uint64(k))
+			}
+		})
+	}
+	c.Shard(1).Engine().Spawn("bomb", 333, func(p *Proc) {
+		panic("boom")
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("cluster swallowed a shard panic")
+		}
+		spe, ok := r.(*ShardPanicError)
+		if !ok {
+			t.Fatalf("cluster panicked with %T (%v), want *ShardPanicError", r, r)
+		}
+		if spe.Shard != 1 {
+			t.Errorf("ShardPanicError.Shard = %d, want 1", spe.Shard)
+		}
+		if spe.Clock != 333 {
+			t.Errorf("ShardPanicError.Clock = %v, want 333", spe.Clock)
+		}
+		if spe.Epoch == 0 {
+			t.Errorf("ShardPanicError.Epoch = 0, want a positive epoch count")
+		}
+		if !strings.Contains(spe.Error(), "boom") {
+			t.Errorf("error %q does not carry the original panic", spe.Error())
+		}
+		if spe.Unwrap() == nil {
+			t.Errorf("ShardPanicError does not unwrap the contained engine error")
+		}
+	}()
+	c.Run()
+}
+
+// TestClusterRunNamesBlockedProcs: the stalled-run watchdog reports
+// which procs on which shards are parked when the cluster goes quiet.
+func TestClusterRunNamesBlockedProcs(t *testing.T) {
+	c := NewCluster(1, 2)
+	l := c.Connect(c.Shard(0), c.Shard(1), 10)
+	l.SetHandler(func(uint64) {})
+	c.Shard(0).Engine().Spawn("pinger", 0, func(p *Proc) {
+		p.Sleep(5)
+		l.SendU64(10, 1)
+	})
+	c.Shard(1).Engine().Spawn("waiter", 0, func(p *Proc) {
+		p.PrepareWait()
+		p.Wait() // never woken
+	})
+	err := c.Run()
+	if err == nil {
+		t.Fatalf("cluster Run returned nil with a proc parked")
+	}
+	var dl *ClusterDeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("cluster Run returned %T, want *ClusterDeadlockError", err)
+	}
+	if len(dl.Blocked) != 1 || dl.Blocked[0] != "shard1/waiter" {
+		t.Fatalf("watchdog named %v, want [shard1/waiter]", dl.Blocked)
+	}
+}

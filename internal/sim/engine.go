@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // event is a single entry in the engine's time-ordered queue. An event
@@ -54,6 +55,7 @@ type Engine struct {
 
 	boot     chan struct{} // control handback to the Step/Run/RunUntil caller
 	live     int           // procs spawned and not yet finished
+	procs    []*Proc       // roster of spawned procs (deadlock diagnostics)
 	panicVal any           // re-thrown panic from a proc or callback
 
 	limit  Time // events scheduled after this instant stay queued
@@ -159,11 +161,67 @@ func (e *Engine) bumpGen(p *Proc) {
 }
 
 // procExited records that p finished: any wakeups still queued for it are
-// now stale.
+// now stale. The roster is compacted once finished procs dominate it, so
+// churn-heavy models do not accumulate dead entries.
 func (e *Engine) procExited(p *Proc) {
 	e.events.stale += p.queued
 	p.queued = 0
 	e.live--
+	if len(e.procs) >= 64 && e.live*2 < len(e.procs) {
+		kept := e.procs[:0]
+		for _, q := range e.procs {
+			if !q.finished {
+				kept = append(kept, q)
+			}
+		}
+		for i := len(kept); i < len(e.procs); i++ {
+			e.procs[i] = nil
+		}
+		e.procs = kept
+	}
+}
+
+// BlockedProcs returns the names of live procs that are parked with no
+// event queued to wake them — the threads a deadlock diagnostic should
+// name. It is meaningful between runs (no proc is executing then); a
+// proc whose wakeup is merely scheduled beyond a RunUntil window does
+// not count as blocked.
+func (e *Engine) BlockedProcs() []string {
+	var out []string
+	for _, p := range e.procs {
+		if !p.finished && p.queued == 0 {
+			out = append(out, p.name)
+		}
+	}
+	return out
+}
+
+// DeadlockError reports that a simulation went quiet — no deliverable
+// event left — while procs were still parked waiting for wakeups that
+// can no longer arrive.
+type DeadlockError struct {
+	Blocked []string // names of the parked procs
+}
+
+func (e *DeadlockError) Error() string {
+	const show = 8
+	names := e.Blocked
+	extra := ""
+	if len(names) > show {
+		extra = fmt.Sprintf(" and %d more", len(names)-show)
+		names = names[:show]
+	}
+	return fmt.Sprintf("sim: deadlock: %d proc(s) blocked with no pending event: %s%s",
+		len(e.Blocked), strings.Join(names, ", "), extra)
+}
+
+// Deadlock returns a DeadlockError naming the blocked procs if the
+// engine has live procs but no deliverable event, nil otherwise.
+func (e *Engine) Deadlock() error {
+	if e.live == 0 || e.events.live() > 0 {
+		return nil
+	}
+	return &DeadlockError{Blocked: e.BlockedProcs()}
 }
 
 // At schedules fn to run in the engine context after delay d. The callback
@@ -185,6 +243,7 @@ func (e *Engine) Spawn(name string, d Time, fn func(p *Proc)) *Proc {
 		resume: make(chan payload),
 	}
 	e.live++
+	e.procs = append(e.procs, p)
 	go func() {
 		<-p.resume // wait for first dispatch
 		defer func() {
@@ -350,11 +409,14 @@ func (e *Engine) Step() bool {
 
 // Run processes events until the queue is empty. If Procs remain parked
 // with no pending event to wake them, the simulation has deadlocked; Run
-// returns and the caller can inspect Live().
-func (e *Engine) Run() {
+// returns a DeadlockError naming the blocked procs (callers that park
+// worker pools on purpose — setup phases, service loops awaiting traffic
+// — ignore it and keep driving the sim).
+func (e *Engine) Run() error {
 	e.limit = maxTime
 	e.budget = -1
 	e.enter()
+	return e.Deadlock()
 }
 
 // RunUntil processes events up to and including time t, then sets the

@@ -17,6 +17,9 @@ type Accumulator struct {
 	Breakdown Breakdown
 	Ops       int64
 	Latency   sim.Time // summed per-op latency; average is Latency/Ops
+	// Rel carries the partition's failure-path counters (zero for
+	// failure-free runs; see Reliability).
+	Rel Reliability
 }
 
 // AddOp records one completed operation and its latency.
@@ -30,6 +33,7 @@ func (a *Accumulator) Merge(other *Accumulator) {
 	a.Breakdown.AddAll(other.Breakdown)
 	a.Ops += other.Ops
 	a.Latency += other.Latency
+	a.Rel.Merge(other.Rel)
 }
 
 // MergeAll combines the accumulators in slice order (partition index

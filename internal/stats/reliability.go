@@ -1,0 +1,81 @@
+package stats
+
+import "repro/internal/sim"
+
+// Reliability aggregates one partition's failure-path counters — the
+// degradation-under-failure companion of the time Breakdown. Like every
+// other accumulator in this package, each shard/machine/part owns
+// exactly one and mutates it only from its own engine context; merged
+// totals are sums of exact integers, so they are placement-invariant
+// when merged in partition order.
+type Reliability struct {
+	OpsOK     int64 // operations that completed successfully
+	OpsFailed int64 // operations abandoned after exhausting retries
+	Attempts  int64 // call attempts, including retries
+	Retries   int64 // attempts beyond each operation's first
+	Timeouts  int64 // attempts that ended in a deadline expiry
+	Faults    int64 // attempts that ended in an immediate error
+	Drops     int64 // messages black-holed (down links, dead tiers)
+}
+
+// Merge folds other into r.
+func (r *Reliability) Merge(other Reliability) {
+	r.OpsOK += other.OpsOK
+	r.OpsFailed += other.OpsFailed
+	r.Attempts += other.Attempts
+	r.Retries += other.Retries
+	r.Timeouts += other.Timeouts
+	r.Faults += other.Faults
+	r.Drops += other.Drops
+}
+
+// Sub returns r minus base, the window delta of two snapshots.
+func (r Reliability) Sub(base Reliability) Reliability {
+	return Reliability{
+		OpsOK:     r.OpsOK - base.OpsOK,
+		OpsFailed: r.OpsFailed - base.OpsFailed,
+		Attempts:  r.Attempts - base.Attempts,
+		Retries:   r.Retries - base.Retries,
+		Timeouts:  r.Timeouts - base.Timeouts,
+		Faults:    r.Faults - base.Faults,
+		Drops:     r.Drops - base.Drops,
+	}
+}
+
+// Ops is the total operations offered (completed plus failed).
+func (r Reliability) Ops() int64 { return r.OpsOK + r.OpsFailed }
+
+// Goodput is successful operations per second of the window.
+func (r Reliability) Goodput(window sim.Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(r.OpsOK) / window.Seconds()
+}
+
+// ErrorRate is the fraction of operations that failed (0 with no ops).
+func (r Reliability) ErrorRate() float64 {
+	if tot := r.Ops(); tot > 0 {
+		return float64(r.OpsFailed) / float64(tot)
+	}
+	return 0
+}
+
+// Availability is the fraction of operations that succeeded; a quiet
+// window reads as fully available.
+func (r Reliability) Availability() float64 {
+	if tot := r.Ops(); tot > 0 {
+		return float64(r.OpsOK) / float64(tot)
+	}
+	return 1
+}
+
+// RetryAmplification is attempts per operation — 1.0 when nothing ever
+// retries, climbing as timeouts stack retries onto the offered load (0
+// with no ops).
+func (r Reliability) RetryAmplification() float64 {
+	if tot := r.Ops(); tot > 0 {
+		return float64(r.Attempts) / float64(tot)
+	}
+	return 0
+}
