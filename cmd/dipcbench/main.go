@@ -51,6 +51,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -192,7 +193,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		if *runShards >= 0 {
 			ov["shards"] = strconv.Itoa(*runShards)
 		}
-		for k, v := range pairs {
+		for k, v := range pairs { //dipcvet:unordered-ok map-to-map copy, order-insensitive
 			ov[k] = v
 		}
 		jobs = []job{{scn: s, overrides: ov}}
@@ -472,7 +473,12 @@ func cmdBench(reg *scenario.Registry, argv []string,
 				compared[d.Name] = true
 			}
 		}
+		gatedNames := make([]string, 0, len(gated))
 		for name := range gated {
+			gatedNames = append(gatedNames, name)
+		}
+		sort.Strings(gatedNames)
+		for _, name := range gatedNames {
 			if !compared[name] {
 				fmt.Fprintf(stderr, "gated scenario %q was not compared (missing from the run or the baseline)\n", name)
 				gateFailures++

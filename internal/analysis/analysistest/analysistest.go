@@ -1,0 +1,127 @@
+// Package analysistest runs an analyzer over testdata packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's own
+// dependency-free framework.
+//
+// Testdata layout follows the x/tools convention: each package lives in
+// testdata/src/<name>/ next to the analyzer's test file. Expectations
+// are written on the offending line as
+//
+//	x := time.Now() // want `wall clock`
+//
+// where the backquoted string is a regular expression matched against
+// the diagnostic message. Several expectations may share a line. Every
+// diagnostic must match a want on its line and every want must be
+// matched — exempted sites are asserted by the absence of a want.
+package analysistest
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRE extracts backquoted regexps after "// want".
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+type want struct {
+	re      *regexp.Regexp
+	line    int
+	matched bool
+}
+
+// Run loads each testdata/src/<pkg> package, applies the analyzer, and
+// reports mismatches between diagnostics and want comments through t.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	moduleDir, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range pkgs {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Helper()
+			pkg, err := analysis.LoadDir(moduleDir, "testdata/src/"+name)
+			if err != nil {
+				t.Fatalf("loading testdata package %s: %v", name, err)
+			}
+			if len(pkg.TypeErrors) > 0 {
+				t.Fatalf("testdata package %s does not type-check: %v", name, pkg.TypeErrors)
+			}
+			check(t, a, pkg)
+		})
+	}
+}
+
+func check(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	diags := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	for _, d := range diags {
+		key := fileKey(d.Pos.Filename)
+		matched := false
+		for _, w := range wants[key] {
+			if w.line == d.Pos.Line && !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	files := make([]string, 0, len(wants))
+	for file := range wants {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		for _, w := range wants[file] {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// collectWants scans every comment of the package for want expectations.
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// "want" may appear anywhere in the comment, so a
+				// //dipcvet: directive line can carry expectations too.
+				idx := strings.Index(c.Text, "want")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+					}
+					key := fileKey(pos.Filename)
+					wants[key] = append(wants[key], &want{re: re, line: pos.Line})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// fileKey normalizes a diagnostic's filename to match across absolute
+// and relative spellings.
+func fileKey(name string) string {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

@@ -1,0 +1,15 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list; skipped in -short")
+	}
+	analysistest.Run(t, detrand.Analyzer, "detrandtest")
+}

@@ -1,0 +1,90 @@
+// Package detrandtest exercises every detrand finding and exemption.
+package detrandtest
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock covers the time.* findings: a bare read is flagged, an
+// annotated one is not, and an annotation without a reason is itself a
+// finding (and does not exempt).
+func wallClock() time.Time {
+	start := time.Now()   // want `wall clock read \(time.Now\)`
+	_ = time.Since(start) // want `wall clock read \(time.Since\)`
+	ok := time.Now()      //dipcvet:wallclock-ok host-side bench timing, never digested
+	_ = ok
+	bare := time.Now() //dipcvet:wallclock-ok // want `needs a reason` `wall clock read`
+	_ = bare
+	return start
+}
+
+// globalRand covers the math/rand findings: global draws are flagged,
+// explicitly seeded local generators are not.
+func globalRand() int {
+	n := rand.Intn(10)                 // want `global rand.Intn`
+	rand.Shuffle(n, func(i, j int) {}) // want `global rand.Shuffle`
+	r := rand.New(rand.NewSource(42))  // constructors are fine
+	n += r.Intn(10)                    // methods on a local generator are fine
+	m := rand.Int()                    //dipcvet:rand-ok demo of an annotated draw
+	return n + m
+}
+
+// mapOrder covers the range-over-map findings.
+func mapOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map`
+		total += v
+	}
+
+	// The collect-then-sort idiom is recognized: not flagged.
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		total += m[k]
+	}
+
+	// Collected but never sorted: flagged.
+	var unsorted []string
+	for k := range m { // want `range over map`
+		unsorted = append(unsorted, k)
+	}
+	_ = unsorted
+
+	//dipcvet:unordered-ok commutative fold, addition over int is order-insensitive here for the demo
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sortedViaSlice covers sort.Slice as the recognized sorter.
+func sortedViaSlice(m map[int]string) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// goroutines covers the go-statement findings.
+func goroutines(ch chan int) {
+	go func() { ch <- 1 }() // want `goroutine launched outside the engine/cluster machinery`
+
+	//dipcvet:goroutine-ok joined before any result is read; per-index output slots
+	go func() { ch <- 2 }()
+}
+
+// rangeOverSlice must not be flagged: only maps iterate randomly.
+func rangeOverSlice(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

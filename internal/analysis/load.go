@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Dirs  *Directives
+
+	// TypeErrors collects type-checking problems. Analysis results over
+	// a package that failed to type-check are not trustworthy; drivers
+	// treat these as fatal.
+	TypeErrors []error
+}
+
+// listedPkg is the subset of `go list -json` output the loader uses.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+}
+
+// goList runs `go list -deps -export -json` in dir over the patterns and
+// decodes the package stream. -export compiles (or reuses from the build
+// cache) each package's export data, which is what the type-checking
+// importer feeds on — the same mechanism `go vet` uses to hand unit
+// checkers their import types.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter builds a types.Importer that resolves import paths
+// through the export-data files `go list -export` produced.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Load loads and type-checks the packages matching the go-list patterns
+// (e.g. "./..."), rooted at dir (the module root or any directory inside
+// it). Only non-test files of the matched packages are analyzed;
+// dependencies contribute export data, not syntax.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		exports[p.ImportPath] = p.Export
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Incomplete {
+			return nil, fmt.Errorf("package %s did not build; fix compile errors first", lp.ImportPath)
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := typeCheck(fset, imp, lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir loads and type-checks the single package rooted at dir, which
+// need not be part of the module build — this is how the analysistest
+// harness loads testdata packages (go tooling ignores testdata
+// directories). Imports are resolved by asking `go list` for their
+// export data from moduleDir.
+func LoadDir(moduleDir, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	// A first comment-less parse pass collects the imports whose export
+	// data must be materialized before type-checking.
+	fset := token.NewFileSet()
+	importSet := map[string]bool{}
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, im := range af.Imports {
+			importSet[strings.Trim(im.Path.Value, `"`)] = true
+		}
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		listed, err := goList(moduleDir, imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset = token.NewFileSet()
+	return typeCheck(fset, exportImporter(fset, exports), filepath.Base(dir), files)
+}
+
+// LoadUnit type-checks one package from an explicit file list, with
+// imports resolved through export-data files keyed by (possibly
+// vendor-remapped) import path. This is the `go vet -vettool` unit-mode
+// entry: the vet driver hands the checker its file list and the export
+// map of its build graph in a *.cfg file, instead of the checker running
+// `go list` itself.
+func LoadUnit(path string, goFiles []string, importMap, packageFile map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(p string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[p]; ok && mapped != "" {
+			p = mapped
+		}
+		f, ok := packageFile[p]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(f)
+	})
+	return typeCheck(fset, imp, path, goFiles)
+}
+
+// typeCheck parses the files (with comments) and type-checks them as one
+// package under path.
+func typeCheck(fset *token.FileSet, imp types.Importer, path string, files []string) (*Package, error) {
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	pkg := &Package{Path: path, Fset: fset, Files: asts, Info: newInfo()}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tp, err := conf.Check(path, fset, asts, pkg.Info)
+	pkg.Types = tp
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Dirs = ParseDirectives(fset, asts)
+	return pkg, nil
+}
+
+// ModuleRoot walks up from dir to the nearest directory containing a
+// go.mod file. Test helpers use it so tests can run from any package
+// directory.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,15 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list; skipped in -short")
+	}
+	analysistest.Run(t, noalloc.Analyzer, "noalloctest")
+}

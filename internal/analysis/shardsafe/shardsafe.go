@@ -1,0 +1,241 @@
+// Package shardsafe enforces the cluster's ownership discipline and
+// the fault layer's nil-transparency contract.
+//
+// Shard ownership: during a barrier-to-barrier run every Engine is
+// private to its worker; cross-shard traffic flows only through
+// sim.Link messages with positive lookahead. Reaching into another
+// shard's engine directly ((*sim.Shard).Engine() outside package sim)
+// bypasses that discipline, so every such call site carries
+// //dipcvet:shard-ok <reason> stating why it is outside the
+// barrier-to-barrier window (wiring, teardown, post-run stats).
+//
+// Hook nil-transparency: a nil *faults.LinkState or *faults.CallSite is
+// the always-healthy hook, so an empty fault plan costs nothing and
+// changes no digests. That contract has two sides:
+//
+//   - definition side: every exported pointer-receiver method on a hook
+//     type must begin with a syntactic nil-receiver guard, unless it is
+//     one of the declared write-side mutators (SetDown, SetExtra,
+//     NoteDrop) that only the Injector invokes on states it created;
+//   - call-site side: calls to those mutators outside package faults
+//     must sit under a nil check of the receiver (if ls != nil { ... }
+//     or the else branch of ls == nil), or carry
+//     //dipcvet:hook-ok <reason>.
+package shardsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the shardsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardsafe",
+	Doc:  "checks shard-engine access discipline and fault-hook nil-safety",
+	Run:  run,
+}
+
+// linkStateMutators are the faults.LinkState methods that are write-side
+// by contract: NOT nil-safe, owned by the Injector, and requiring a nil
+// guard (or //dipcvet:hook-ok) at every call site outside the package.
+var linkStateMutators = map[string]bool{
+	"SetDown":  true,
+	"SetExtra": true,
+	"NoteDrop": true,
+}
+
+// hookTypes are the nil-transparent hook types checked on the
+// definition side inside package faults.
+var hookTypes = map[string]bool{
+	"LinkState": true,
+	"CallSite":  true,
+}
+
+func run(pass *analysis.Pass) {
+	inSim := isPkg(pass.Pkg, "sim")
+	inFaults := isPkg(pass.Pkg, "faults")
+	for _, f := range pass.Files {
+		if inFaults {
+			checkHookDefs(pass, f)
+		}
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if !inSim && fn.Name() == "Engine" && isMethodOn(fn, "sim", "Shard") {
+				if !pass.Exempted(call.Pos(), "shard-ok") {
+					pass.Reportf(call.Pos(), "direct access to a shard's engine outside package sim: cross-shard traffic must flow through sim.Link and cluster barriers; annotate //dipcvet:shard-ok <reason> if this site runs outside the barrier-to-barrier window")
+				}
+			}
+			if !inFaults && linkStateMutators[fn.Name()] && isMethodOn(fn, "faults", "LinkState") {
+				if !nilGuarded(sel.X, call, stack) && !pass.Exempted(call.Pos(), "hook-ok") {
+					pass.Reportf(call.Pos(), "faults.(*LinkState).%s is not nil-safe: guard %s against nil or annotate //dipcvet:hook-ok <reason>", fn.Name(), types.ExprString(sel.X))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkHookDefs enforces the definition side of nil-transparency: every
+// exported pointer-receiver method on a hook type either opens with a
+// syntactic nil-receiver guard or is a declared mutator.
+func checkHookDefs(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+			continue
+		}
+		typ, recvName := recvInfo(fd)
+		if !hookTypes[typ] {
+			continue
+		}
+		if typ == "LinkState" && linkStateMutators[fd.Name.Name] {
+			continue
+		}
+		if startsWithNilGuard(fd.Body, recvName) {
+			continue
+		}
+		if pass.Exempted(fd.Name.Pos(), "hook-ok") {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(), "(*%s).%s must start with a nil-receiver guard (a nil hook is the transparent hook) or be a declared mutator (%s)", typ, fd.Name.Name, mutatorList())
+	}
+}
+
+// recvInfo extracts the receiver's named type and binding from a method
+// declaration ("" when the receiver is unnamed).
+func recvInfo(fd *ast.FuncDecl) (typ, recvName string) {
+	field := fd.Recv.List[0]
+	t := field.Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		typ = id.Name
+	}
+	if len(field.Names) > 0 {
+		recvName = field.Names[0].Name
+	}
+	return typ, recvName
+}
+
+// startsWithNilGuard reports whether the body's first statement tests
+// the receiver against nil — either an opening if recv == nil { ... }
+// or a single return whose expression contains recv == nil.
+func startsWithNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if recvName == "" || len(body.List) == 0 {
+		return false
+	}
+	switch first := body.List[0].(type) {
+	case *ast.IfStmt:
+		return containsNilCompare(first.Cond, recvName, token.EQL)
+	case *ast.ReturnStmt:
+		for _, res := range first.Results {
+			if containsNilCompare(res, recvName, token.EQL) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nilGuarded reports whether the call sits inside a branch that has
+// established recv != nil: the body of if recv != nil { ... } (possibly
+// under &&) or the else branch of if recv == nil.
+func nilGuarded(recv ast.Expr, call *ast.CallExpr, stack []ast.Node) bool {
+	recvStr := types.ExprString(recv)
+	for _, anc := range stack {
+		ifs, ok := anc.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if containsNilCompareExpr(ifs.Cond, recvStr, token.NEQ) && within(call, ifs.Body) {
+			return true
+		}
+		if ifs.Else != nil && containsNilCompareExpr(ifs.Cond, recvStr, token.EQL) && within(call, ifs.Else) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsNilCompare looks for `name <op> nil` (either operand order)
+// anywhere inside e.
+func containsNilCompare(e ast.Expr, name string, op token.Token) bool {
+	return containsNilCompareExpr(e, name, op)
+}
+
+func containsNilCompareExpr(e ast.Expr, want string, op token.Token) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != op {
+			return true
+		}
+		if isNilIdent(be.X) && types.ExprString(be.Y) == want {
+			found = true
+		}
+		if isNilIdent(be.Y) && types.ExprString(be.X) == want {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func within(n, outer ast.Node) bool {
+	return outer != nil && outer.Pos() <= n.Pos() && n.End() <= outer.End()
+}
+
+// isMethodOn reports whether fn is a method (pointer or value receiver)
+// on the named type in the named repo package. Short package names match
+// the real module path and testdata spellings alike.
+func isMethodOn(fn *types.Func, pkgShort, typeName string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != typeName {
+		return false
+	}
+	return named.Obj().Pkg() != nil && matchPkgPath(named.Obj().Pkg().Path(), pkgShort)
+}
+
+func isPkg(pkg *types.Package, short string) bool {
+	if pkg == nil {
+		return false
+	}
+	return matchPkgPath(pkg.Path(), short) || pkg.Name() == short
+}
+
+func matchPkgPath(path, short string) bool {
+	return path == "repro/internal/"+short || strings.HasSuffix(path, "/"+short) || path == short
+}
+
+func mutatorList() string {
+	return "SetDown, SetExtra, NoteDrop"
+}

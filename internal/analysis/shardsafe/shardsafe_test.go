@@ -1,0 +1,15 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/shardsafe"
+)
+
+func TestShardsafe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list; skipped in -short")
+	}
+	analysistest.Run(t, shardsafe.Analyzer, "shardsafetest", "faults")
+}

@@ -1,0 +1,51 @@
+// Package faults mimics the real hook package: the definition-side
+// nil-transparency check applies to hook types in packages named
+// faults.
+package faults
+
+// LinkState mirrors the real hook type's shape.
+type LinkState struct {
+	down  bool
+	drops int64
+}
+
+// Up is nil-safe via the guard inside the return: not flagged.
+func (ls *LinkState) Up() bool { return ls == nil || !ls.down }
+
+// Drops is nil-safe via a leading if-guard: not flagged.
+func (ls *LinkState) Drops() int64 {
+	if ls == nil {
+		return 0
+	}
+	return ls.drops
+}
+
+// SetDown is a declared mutator: not flagged.
+func (ls *LinkState) SetDown(down bool, now int64) {
+	_ = now
+	ls.down = down
+}
+
+// Reset is neither nil-safe nor a declared mutator.
+func (ls *LinkState) Reset() { // want `\(\*LinkState\).Reset must start with a nil-receiver guard`
+	ls.down = false
+	ls.drops = 0
+}
+
+//dipcvet:hook-ok test-only scratch accessor, callers always own non-nil states
+func (ls *LinkState) Clear() { ls.drops = 0 }
+
+// CallSite mirrors the real per-call hook.
+type CallSite struct{ draws uint64 }
+
+// Draw is nil-safe: not flagged.
+func (s *CallSite) Draw() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.draws++
+	return s.draws
+}
+
+// Burn is not nil-safe and CallSite declares no mutators.
+func (s *CallSite) Burn() { s.draws++ } // want `\(\*CallSite\).Burn must start with a nil-receiver guard`

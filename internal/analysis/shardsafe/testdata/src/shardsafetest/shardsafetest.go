@@ -1,0 +1,45 @@
+// Package shardsafetest exercises the cross-shard access and
+// hook-guard checks against the real sim and faults packages.
+package shardsafetest
+
+import (
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// engineAccess: reaching into a shard's engine is flagged unless the
+// site is annotated as outside the barrier-to-barrier window.
+func engineAccess(s *sim.Shard) *sim.Engine {
+	e := s.Engine() // want `direct access to a shard's engine`
+	//dipcvet:shard-ok wiring phase, runs before the cluster starts
+	e2 := s.Engine()
+	_ = e2
+	return e
+}
+
+// mutators: write-side LinkState methods are not nil-safe, so bare call
+// sites are flagged while guarded or annotated ones are not.
+func mutators(ls *faults.LinkState, now sim.Time) {
+	ls.SetDown(true, now) // want `faults.\(\*LinkState\).SetDown is not nil-safe`
+	ls.NoteDrop()         // want `faults.\(\*LinkState\).NoteDrop is not nil-safe`
+	if ls != nil {
+		ls.SetExtra(5) // guarded: not flagged
+		ls.NoteDrop()  // guarded: not flagged
+	}
+	if ls == nil {
+		_ = now
+	} else {
+		ls.SetDown(false, now) // guarded via the else branch: not flagged
+	}
+	//dipcvet:hook-ok injector only resolves planned links, never nil
+	ls.NoteDrop()
+}
+
+// reads: read-side methods are nil-safe by contract and never flagged.
+func reads(ls *faults.LinkState, now sim.Time) sim.Time {
+	if !ls.Up() {
+		return ls.ExtraDelay()
+	}
+	_ = ls.Drops()
+	return ls.Downtime(now)
+}

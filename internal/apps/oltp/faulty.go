@@ -91,6 +91,8 @@ func (r *Retrier) Call(t *kernel.Thread, op string, payload any, reqBytes int) a
 
 // TryCall implements Transport with retries: attempt, classify, back
 // off, repeat. The residual error after the last attempt is returned.
+//
+//dipcvet:noalloc
 func (r *Retrier) TryCall(t *kernel.Thread, op string, payload any, reqBytes int) (any, error) {
 	var lastErr error
 	for a := 0; a <= r.Policy.MaxRetries; a++ {

@@ -39,6 +39,8 @@ func NewAPLCache() *APLCache { return &APLCache{} }
 // probe is the internal tag search shared by Lookup, Insert and HWTagOf.
 // It never touches the client-visible counters, so Insert's own
 // presence check cannot distort the lookup statistics.
+//
+//dipcvet:noalloc
 func (c *APLCache) probe(tag Tag) (uint8, bool) {
 	i := int(tag) & (aplIndexSize - 1)
 	for {
@@ -55,6 +57,8 @@ func (c *APLCache) probe(tag Tag) (uint8, bool) {
 
 // indexAdd records tag -> slot in the first free index position on the
 // tag's probe chain.
+//
+//dipcvet:noalloc
 func (c *APLCache) indexAdd(tag Tag, slot uint8) {
 	i := int(tag) & (aplIndexSize - 1)
 	for c.index[i] != 0 {
@@ -76,6 +80,8 @@ func (c *APLCache) reindex() {
 }
 
 // Lookup returns the hardware tag for a domain if cached.
+//
+//dipcvet:noalloc
 func (c *APLCache) Lookup(tag Tag) (uint8, bool) {
 	c.lookups++
 	return c.probe(tag)
@@ -85,6 +91,8 @@ func (c *APLCache) Lookup(tag Tag) (uint8, bool) {
 // hardware tag. In hardware this is the software miss handler's refill.
 // Its internal presence probe is not a client lookup and is never
 // counted (or, as previously, fudged back) into the lookup statistics.
+//
+//dipcvet:noalloc
 func (c *APLCache) Insert(tag Tag) uint8 {
 	if hw, ok := c.probe(tag); ok {
 		return hw

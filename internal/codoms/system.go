@@ -164,7 +164,7 @@ func (s *System) APLEntries(tag Tag) map[Tag]Perm {
 		return nil
 	}
 	out := make(map[Tag]Perm, len(d.apl))
-	for k, v := range d.apl {
+	for k, v := range d.apl { //dipcvet:unordered-ok map-to-map copy, order-insensitive
 		out[k] = v
 	}
 	return out

@@ -173,6 +173,8 @@ func (px *Proxy) compile() {
 // while nothing it was derived from (the APLs, the page table) has
 // changed. The simulated CapCreate cost is part of desc.enter — the
 // cache only avoids re-deriving a bit-identical value on the host.
+//
+//dipcvet:noalloc
 func (px *Proxy) returnCap(ts *threadState, hw *codoms.ThreadCtx) (codoms.Capability, error) {
 	arch, pt := px.rt.M.Arch, px.rt.PT
 	if rc, ok := ts.retCaps[px]; ok && rc.epoch == arch.Epoch() && rc.ptGen == pt.Gen() {
@@ -184,9 +186,9 @@ func (px *Proxy) returnCap(ts *threadState, hw *codoms.ThreadCtx) (codoms.Capabi
 		return codoms.Capability{}, err
 	}
 	if ts.retCaps == nil {
-		ts.retCaps = make(map[*Proxy]retCapEntry)
+		ts.retCaps = make(map[*Proxy]retCapEntry) //dipcvet:alloc-ok first-use memoization; steady state hits the cache above
 	}
-	ts.retCaps[px] = retCapEntry{cap: c, epoch: arch.Epoch(), ptGen: pt.Gen()}
+	ts.retCaps[px] = retCapEntry{cap: c, epoch: arch.Epoch(), ptGen: pt.Gen()} //dipcvet:alloc-ok first-use memoization insert, amortized across all calls
 	return c, nil
 }
 
@@ -203,6 +205,7 @@ func (ie *ImportedEntry) Call(t *kernel.Thread, in *Args) (*Args, error) {
 	return ie.proxy.invoke(t, in)
 }
 
+//dipcvet:noalloc
 func (px *Proxy) invoke(t *kernel.Thread, in *Args) (out *Args, err error) {
 	rt := px.rt
 	p := rt.M.P
@@ -216,7 +219,7 @@ func (px *Proxy) invoke(t *kernel.Thread, in *Args) (out *Args, err error) {
 		// Fresh value, not a shared zero: entries may legitimately echo
 		// their input as the result, which the caller then owns and may
 		// mutate. Nil-arg calls are off the measured hot paths.
-		in = &Args{}
+		in = &Args{} //dipcvet:alloc-ok cold branch: measured hot paths always pass non-nil args
 	}
 	rt.crossCalls++
 
@@ -271,11 +274,11 @@ func (px *Proxy) invoke(t *kernel.Thread, in *Args) (out *Args, err error) {
 	// Pre-size the KCS to the deepest chain this proxy's template has
 	// carried, so a fresh thread entering a deep chain grows it once.
 	if c := px.tmpl.maxDepth; cap(ts.kcs) < c {
-		grown := make([]kcsEntry, len(ts.kcs), c)
+		grown := make([]kcsEntry, len(ts.kcs), c) //dipcvet:alloc-ok one-time growth to the template's max depth
 		copy(grown, ts.kcs)
 		ts.kcs = grown
 	}
-	ts.kcs = append(ts.kcs, fr)
+	ts.kcs = append(ts.kcs, fr) //dipcvet:alloc-ok pre-sized above; steady state reuses the pooled capacity
 	depth := len(ts.kcs)
 	if depth > px.tmpl.maxDepth {
 		px.tmpl.maxDepth = depth
@@ -290,6 +293,7 @@ func (px *Proxy) invoke(t *kernel.Thread, in *Args) (out *Args, err error) {
 
 	// Crash unwinding: restore this frame and either absorb or keep
 	// propagating (§5.2.1).
+	//dipcvet:alloc-ok open-coded defer; the closure stays on the stack
 	defer func() {
 		r := recover()
 		if r == nil {

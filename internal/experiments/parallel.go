@@ -71,6 +71,7 @@ func forEachPointWorkers(n, workers int, job func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//dipcvet:goroutine-ok workers claim indices atomically and write per-index slots; joined before any result is read
 		go func() {
 			defer wg.Done()
 			defer func() {

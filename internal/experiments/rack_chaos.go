@@ -74,6 +74,7 @@ func RunRackChaos(c RackChaosConfig) *RackChaosResult {
 		ings[i] = &rackIngress{}
 		lss[i] = &faults.LinkState{}
 		nics[i].SetFaults(lss[i])
+		//dipcvet:shard-ok wiring phase: the injector binds to the shard that owns the link state, before the run
 		inj.Link(fmt.Sprintf("link%d", i), cl.Shard(i%cl.Shards()).Engine(), lss[i])
 		inj.Machine(fmt.Sprintf("m%d", i), m)
 	}
@@ -126,6 +127,7 @@ func RunRackChaos(c RackChaosConfig) *RackChaosResult {
 					}
 					t.ExecUser(c.Work)
 					if !nics[mi].Up() {
+						//dipcvet:hook-ok lss[mi] is constructed non-nil at wiring time
 						lss[mi].NoteDrop()
 						if measuring {
 							accs[mi].Rel.Drops++
@@ -141,6 +143,7 @@ func RunRackChaos(c RackChaosConfig) *RackChaosResult {
 	// Closed-loop clients with a per-attempt deadline: a Waiter armed
 	// with a timeout wake and (maybe) a completion wake — whichever
 	// fires first wins, the loser is a stale wake the engine discards.
+	//dipcvet:shard-ok wiring phase: clients spawn onto shard 0's engine before the run
 	eng0 := cl.Shard(0).Engine()
 	for ci := 0; ci < c.Clients; ci++ {
 		ci := ci
@@ -170,6 +173,7 @@ func RunRackChaos(c RackChaosConfig) *RackChaosResult {
 						outs[0].SendU64(nics[0].FlightTime(c.ReqBytes), id)
 					} else if measuring {
 						// Lost before the first hop; the deadline still runs.
+						//dipcvet:hook-ok lss[0] is constructed non-nil at wiring time
 						lss[0].NoteDrop()
 						accs[0].Rel.Drops++
 					}
@@ -222,6 +226,7 @@ func RunRackChaos(c RackChaosConfig) *RackChaosResult {
 		LinkDowntime: make([]sim.Time, c.Machines),
 	}
 	for i := range lss {
+		//dipcvet:shard-ok post-run readout: the cluster has stopped, clocks are frozen
 		res.LinkDowntime[i] = lss[i].Downtime(cl.Shard(i % cl.Shards()).Engine().Now())
 	}
 	return res

@@ -132,6 +132,7 @@ func RunRack(c RackConfig) *RackResult {
 
 	// Closed-loop clients on machine 0's shard, one explicit Rand stream
 	// each (determinism rule 2 — never the shard engine's).
+	//dipcvet:shard-ok wiring phase: clients spawn onto shard 0's engine before the run
 	eng0 := cl.Shard(0).Engine()
 	for ci := 0; ci < c.Clients; ci++ {
 		ci := ci

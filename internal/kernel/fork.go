@@ -24,6 +24,7 @@ func (m *Machine) Fork(t *Thread) *Process {
 		t.Exec(p.FutexWake+p.CacheLineTouch*sim.Time(pages/8+1), stats.BlockKernel)
 		child = m.NewProcess(parent.Name + "-child")
 		child.WorkingSet = parent.WorkingSet
+		//dipcvet:unordered-ok map-to-map copy plus a max fold, both order-insensitive
 		for fd, obj := range parent.fds {
 			child.fds[fd] = obj
 			if fd > child.nextFD {

@@ -11,6 +11,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/codoms"
 	"repro/internal/cost"
@@ -89,11 +90,17 @@ func (m *Machine) CPUSnapshots() []stats.Breakdown {
 	return out
 }
 
-// Processes returns the live processes.
+// Processes returns the live processes in PID order, so callers that
+// act on the list (fault injection, teardown) do so deterministically.
 func (m *Machine) Processes() []*Process {
-	out := make([]*Process, 0, len(m.procs))
-	for _, p := range m.procs {
-		if !p.Dead {
+	pids := make([]int, 0, len(m.procs))
+	for pid := range m.procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	out := make([]*Process, 0, len(pids))
+	for _, pid := range pids {
+		if p := m.procs[pid]; !p.Dead {
 			out = append(out, p)
 		}
 	}

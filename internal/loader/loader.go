@@ -13,6 +13,7 @@ package loader
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/kernel"
@@ -153,6 +154,7 @@ func Load(t *kernel.Thread, rt *core.Runtime, mf *Manifest) (*Image, error) {
 		if len(byDomain) != 1 {
 			return nil, fmt.Errorf("loader: entries must share one domain per manifest (got %d)", len(byDomain))
 		}
+		//dipcvet:unordered-ok exactly one entry, enforced by the check above
 		for dom, descs := range byDomain {
 			eh, err := rt.EntryRegister(t, im.Domains[dom], descs)
 			if err != nil {
@@ -171,7 +173,15 @@ func Load(t *kernel.Thread, rt *core.Runtime, mf *Manifest) (*Image, error) {
 	for _, is := range mf.Imports {
 		byPath[is.Path] = append(byPath[is.Path], is)
 	}
-	for path, specs := range byPath {
+	// Import in path order: MustImport charges simulated work, so the
+	// iteration order must not follow the map.
+	paths := make([]string, 0, len(byPath))
+	for path := range byPath {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		specs := byPath[path]
 		descs := make([]core.EntryDesc, len(specs))
 		for i, is := range specs {
 			descs[i] = core.EntryDesc{Name: is.Name, Sig: is.Sig, Policy: is.Policy}

@@ -59,6 +59,8 @@ func NewTLB(capacity int) *TLB {
 func vpn(va Addr) Addr { return va >> PageShift }
 
 // home returns the first slot of the set the key maps to.
+//
+//dipcvet:noalloc
 func (t *TLB) home(key Addr) int {
 	return (int(key) * tlbWays) & t.slotMask
 }
@@ -66,6 +68,8 @@ func (t *TLB) home(key Addr) int {
 // find probes the key's set and its spill chain, returning the slot
 // index or -1. The chain always terminates at an unused slot: the array
 // holds at most capacity entries in 2×capacity slots.
+//
+//dipcvet:noalloc
 func (t *TLB) find(key Addr) int {
 	i := t.home(key)
 	for {
@@ -82,6 +86,8 @@ func (t *TLB) find(key Addr) int {
 
 // Lookup translates va through the TLB, falling back to a walk of pt on
 // a miss and installing the translation. The boolean reports a hit.
+//
+//dipcvet:noalloc
 func (t *TLB) Lookup(pt *PageTable, va Addr) (PageInfo, bool) {
 	key := vpn(va)
 	if i := t.find(key); i >= 0 {
@@ -96,6 +102,7 @@ func (t *TLB) Lookup(pt *PageTable, va Addr) (PageInfo, bool) {
 	return pi, false
 }
 
+//dipcvet:noalloc
 func (t *TLB) insert(key Addr, pi PageInfo) {
 	if i := t.find(key); i >= 0 {
 		// Refresh in place; FIFO position is unchanged, as for the map.
@@ -123,6 +130,8 @@ func (t *TLB) insert(key Addr, pi PageInfo) {
 // it so that find's unused-slot termination stays correct: a follower is
 // moved into the hole unless its home set lies cyclically after the
 // hole (in which case the hole does not break its probe path).
+//
+//dipcvet:noalloc
 func (t *TLB) deleteSlot(i int) {
 	j := i
 	for {

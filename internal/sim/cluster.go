@@ -335,6 +335,7 @@ func (c *Cluster) run(t Time) {
 			var wg sync.WaitGroup
 			for _, s := range c.runnable {
 				wg.Add(1)
+				//dipcvet:goroutine-ok this IS the barrier machinery: shards run disjoint state between barriers
 				go func(s *Shard) {
 					defer wg.Done()
 					runShard(s, c.horizon[s.idx]-1)

@@ -98,6 +98,8 @@ func (e *Engine) Live() int { return e.live }
 // is counted stale at birth, everything else is charged to the proc's
 // queued count so the bookkeeping in bumpGen/procExited/schedule can move
 // the whole batch to stale the moment it becomes undeliverable.
+//
+//dipcvet:noalloc
 func (e *Engine) push(at Time, p *Proc, gen uint64, data payload, fn func()) {
 	if at < e.now {
 		at = e.now
@@ -123,15 +125,23 @@ func (e *Engine) push(at Time, p *Proc, gen uint64, data payload, fn func()) {
 // sender violated its declared lookahead, which the conservative protocol
 // is supposed to make impossible — report the protocol bug loudly rather
 // than silently reordering the past.
+//
+//dipcvet:noalloc
 func (e *Engine) pushSeq(at Time, seq uint64, lk *Link, v uint64, fn func()) {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: link delivery at %v behind shard clock %v (lookahead violated)", at, e.now))
+		e.panicLookaheadViolated(at)
 	}
 	ev := event{at: at, seq: seq, fn: fn}
 	if fn == nil {
 		ev.data = payload{kind: payU64, boxed: lk, u64: v}
 	}
 	e.events.push(ev)
+}
+
+// panicLookaheadViolated keeps message construction off pushSeq's
+// //dipcvet:noalloc delivery lane.
+func (e *Engine) panicLookaheadViolated(at Time) {
+	panic(fmt.Sprintf("sim: link delivery at %v behind shard clock %v (lookahead violated)", at, e.now))
 }
 
 // nextLiveTime returns the timestamp of the earliest deliverable event,
@@ -244,6 +254,7 @@ func (e *Engine) Spawn(name string, d Time, fn func(p *Proc)) *Proc {
 	}
 	e.live++
 	e.procs = append(e.procs, p)
+	//dipcvet:goroutine-ok coroutine carrier: the engine hands execution over the resume channel, one runner at a time
 	go func() {
 		<-p.resume // wait for first dispatch
 		defer func() {
@@ -290,6 +301,8 @@ const (
 // clock, before the limit test, so an abandoned deadline inside a
 // RunUntil window cannot bait the loop into delivering a live event
 // scheduled after the window.
+//
+//dipcvet:noalloc
 func (e *Engine) schedule(self *Proc, isBoot bool) (payload, schedResult) {
 	for e.budget != 0 {
 		for e.events.len() > 0 && staleEvent(e.events.head()) {
@@ -340,7 +353,10 @@ func (e *Engine) schedule(self *Proc, isBoot bool) (payload, schedResult) {
 // recover. Containing it means a panicking callback behaves identically
 // on every goroutine: the loop stops, control returns to the bootstrap,
 // and enter re-throws "sim: callback panicked" there.
+//
+//dipcvet:noalloc
 func (e *Engine) runCallback(fn func()) (ok bool) {
+	//dipcvet:alloc-ok open-coded defer; the closure stays on the stack
 	defer func() {
 		if r := recover(); r != nil && e.panicVal == nil {
 			e.panicVal = fmt.Errorf("sim: callback panicked: %v", r)
@@ -352,8 +368,11 @@ func (e *Engine) runCallback(fn func()) (ok bool) {
 
 // runLink delivers a link message event (pushSeq with fn == nil) to the
 // link's handler, with the same panic containment as runCallback.
+//
+//dipcvet:noalloc
 func (e *Engine) runLink(ev *event) (ok bool) {
 	lk := ev.data.boxed.(*Link)
+	//dipcvet:alloc-ok open-coded defer; the closure stays on the stack
 	defer func() {
 		if r := recover(); r != nil && e.panicVal == nil {
 			e.panicVal = fmt.Errorf("sim: link %d handler panicked: %v", lk.id, r)

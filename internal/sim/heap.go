@@ -52,14 +52,18 @@ func before(a, b *event) bool {
 
 // push inserts ev. Amortized O(1) allocations: once the slice has grown to
 // the simulation's steady-state depth, append reuses the pooled capacity.
+//
+//dipcvet:noalloc
 func (q *eventQueue) push(ev event) {
-	q.ev = append(q.ev, ev)
+	q.ev = append(q.ev, ev) //dipcvet:alloc-ok pooled capacity: the heap slice reaches steady-state depth and stops growing
 	q.siftUp(len(q.ev) - 1)
 }
 
 // pop removes and returns the minimum event. The vacated tail slot is
 // zeroed so the pooled backing array does not pin procs, payloads or
 // closures past their lifetime.
+//
+//dipcvet:noalloc
 func (q *eventQueue) pop() event {
 	top := q.ev[0]
 	n := len(q.ev) - 1
@@ -76,6 +80,7 @@ func (q *eventQueue) pop() event {
 // checked len() > 0.
 func (q *eventQueue) head() *event { return &q.ev[0] }
 
+//dipcvet:noalloc
 func (q *eventQueue) siftUp(i int) {
 	ev := q.ev[i]
 	for i > 0 {
@@ -89,6 +94,7 @@ func (q *eventQueue) siftUp(i int) {
 	q.ev[i] = ev
 }
 
+//dipcvet:noalloc
 func (q *eventQueue) siftDown(i int) {
 	n := len(q.ev)
 	ev := q.ev[i]

@@ -85,9 +85,11 @@ func (l *Link) SetHandler(fn func(v uint64)) { l.handler = fn }
 // message lane: no closure, no boxing — the word rides the event's u64
 // lane and the handler dispatch carries the link as an unboxed pointer.
 // Must be called from the sending shard's engine context.
+//
+//dipcvet:noalloc
 func (l *Link) SendU64(d Time, v uint64) {
 	if l.handler == nil {
-		panic(fmt.Sprintf("sim: SendU64 on link %d with no handler", l.id))
+		l.panicNoHandler()
 	}
 	l.send(d, v, nil)
 }
@@ -103,16 +105,16 @@ func (l *Link) Send(d Time, fn func()) {
 	l.send(d, 0, fn)
 }
 
+//dipcvet:noalloc
 func (l *Link) send(d Time, v uint64, fn func()) {
 	if d < l.lookahead {
-		panic(fmt.Sprintf("sim: send on link %d with delay %v below declared lookahead %v",
-			l.id, d, l.lookahead))
+		l.panicBelowLookahead(d)
 	}
 	at := l.from.eng.now + d
 	seq := linkBand | uint64(l.id)<<linkSendBits | l.sendIdx
 	l.sendIdx++
 	if l.sendIdx >= 1<<linkSendBits {
-		panic(fmt.Sprintf("sim: link %d exceeded %d sends", l.id, uint64(1)<<linkSendBits))
+		l.panicSendOverflow()
 	}
 	if l.from == l.to {
 		// Intra-shard: the sender holds this engine's control, so the
@@ -126,9 +128,24 @@ func (l *Link) send(d Time, v uint64, fn func()) {
 	case l.ch <- m:
 	default:
 		l.mu.Lock()
-		l.spill = append(l.spill, m)
+		l.spill = append(l.spill, m) //dipcvet:alloc-ok overflow lane past the 256-entry channel; drained and capacity-reused every epoch
 		l.mu.Unlock()
 	}
+}
+
+// panicBelowLookahead is the send fast path's cold failure lane: message
+// construction stays out of the //dipcvet:noalloc caller.
+func (l *Link) panicBelowLookahead(d Time) {
+	panic(fmt.Sprintf("sim: send on link %d with delay %v below declared lookahead %v",
+		l.id, d, l.lookahead))
+}
+
+func (l *Link) panicSendOverflow() {
+	panic(fmt.Sprintf("sim: link %d exceeded %d sends", l.id, uint64(1)<<linkSendBits))
+}
+
+func (l *Link) panicNoHandler() {
+	panic(fmt.Sprintf("sim: SendU64 on link %d with no handler", l.id))
 }
 
 // drain moves every buffered message into the receiving shard's heap. It

@@ -36,6 +36,8 @@ func (p *Proc) Now() Time { return p.eng.now }
 // — control never moves and the payload comes back with zero channel
 // operations — or the payload is handed straight to whoever runs next and
 // this goroutine blocks until its own turn comes around.
+//
+//dipcvet:noalloc
 func (p *Proc) park() payload {
 	pl, r := p.eng.schedule(p, false)
 	if r == schedSelf {
@@ -55,6 +57,8 @@ func (p *Proc) park() payload {
 // under a Step budget (every delivery must be counted) and across the
 // RunUntil limit (the wakeup must stay queued past the window), where
 // the queued event is observable.
+//
+//dipcvet:noalloc
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
@@ -93,6 +97,8 @@ type Waiter struct {
 
 // PrepareWait arms the Proc for a Wait and returns the handle other code
 // can use to wake it. It must be followed by Wait on the same Proc.
+//
+//dipcvet:noalloc
 func (p *Proc) PrepareWait() Waiter {
 	p.eng.bumpGen(p)
 	return Waiter{p: p, gen: p.gen}
@@ -108,6 +114,8 @@ func (p *Proc) Wait() any {
 // WaitQueue.WakeOneU64): the word round-trips through the event heap and
 // the resume channel without interface boxing on either side. ok reports
 // whether the wake actually carried a uint64 payload.
+//
+//dipcvet:noalloc
 func (p *Proc) WaitU64() (v uint64, ok bool) {
 	pl := p.park()
 	return pl.u64, pl.kind == payU64
@@ -135,10 +143,13 @@ func (w Waiter) Wake(d Time, data any) {
 
 // WakeU64 is Wake with an unboxed uint64 payload (fast lane; pair with
 // WaitU64 to stay unboxed end to end).
+//
+//dipcvet:noalloc
 func (w Waiter) WakeU64(d Time, v uint64) {
 	w.wake(d, payload{kind: payU64, u64: v})
 }
 
+//dipcvet:noalloc
 func (w Waiter) wake(d Time, pl payload) {
 	if w.p == nil {
 		return
