@@ -48,11 +48,18 @@ var linkStateMutators = map[string]bool{
 	"NoteDrop": true,
 }
 
+// loadStateMutators are the faults.LoadState write-side methods, under
+// the same contract as the LinkState mutators.
+var loadStateMutators = map[string]bool{
+	"SetFactor": true,
+}
+
 // hookTypes are the nil-transparent hook types checked on the
 // definition side inside package faults.
 var hookTypes = map[string]bool{
 	"LinkState": true,
 	"CallSite":  true,
+	"LoadState": true,
 }
 
 func run(pass *analysis.Pass) {
@@ -85,6 +92,11 @@ func run(pass *analysis.Pass) {
 					pass.Reportf(call.Pos(), "faults.(*LinkState).%s is not nil-safe: guard %s against nil or annotate //dipcvet:hook-ok <reason>", fn.Name(), types.ExprString(sel.X))
 				}
 			}
+			if !inFaults && loadStateMutators[fn.Name()] && isMethodOn(fn, "faults", "LoadState") {
+				if !nilGuarded(sel.X, call, stack) && !pass.Exempted(call.Pos(), "hook-ok") {
+					pass.Reportf(call.Pos(), "faults.(*LoadState).%s is not nil-safe: guard %s against nil or annotate //dipcvet:hook-ok <reason>", fn.Name(), types.ExprString(sel.X))
+				}
+			}
 			return true
 		})
 	}
@@ -104,6 +116,9 @@ func checkHookDefs(pass *analysis.Pass, f *ast.File) {
 			continue
 		}
 		if typ == "LinkState" && linkStateMutators[fd.Name.Name] {
+			continue
+		}
+		if typ == "LoadState" && loadStateMutators[fd.Name.Name] {
 			continue
 		}
 		if startsWithNilGuard(fd.Body, recvName) {
@@ -237,5 +252,5 @@ func matchPkgPath(path, short string) bool {
 }
 
 func mutatorList() string {
-	return "SetDown, SetExtra, NoteDrop"
+	return "SetDown, SetExtra, NoteDrop, SetFactor"
 }

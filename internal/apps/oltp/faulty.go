@@ -111,11 +111,20 @@ func (r *Retrier) TryCall(t *kernel.Thread, op string, payload any, reqBytes int
 		}
 		lastErr = err
 		if r.Rel != nil {
-			if errors.Is(err, faults.ErrTimeout) {
+			switch {
+			case errors.Is(err, faults.ErrTimeout):
 				r.Rel.Timeouts++
-			} else {
+			case errors.Is(err, faults.ErrRejected):
+				r.Rel.Rejected++
+			default:
 				r.Rel.Faults++
 			}
+		}
+		if errors.Is(err, faults.ErrRejected) {
+			// A rejection is a deliberate shed by admission control or a
+			// breaker, not a transient: retrying it is exactly the
+			// amplification those tiers exist to prevent.
+			return nil, lastErr
 		}
 	}
 	return nil, lastErr
@@ -151,14 +160,9 @@ type ChainFaultsResult struct {
 	Breakdown    stats.Breakdown
 }
 
-// RunChainFaults executes one chain configuration under a fault plan.
-// It mirrors RunChain's wiring — same tiers, same transports, same
-// closed-loop clients — but every hop goes through TryCall behind a
-// Retrier, tier failures travel up as RemoteErrors, and the plan's
-// events fire on the sim clock via a faults.Injector. Process targets
-// are named "gateway" and "svc1".."svcN" ("chain-app" for Ideal); the
-// machine target is "m0"; per-call fault sites are "hop1".."hopN".
-func RunChainFaults(cfg ChainFaultsConfig) *ChainFaultsResult {
+// applyDefaults fills the zero-value fields of a fault-aware chain
+// configuration; RunChainFaults and RunOpenLoop share these floors.
+func (cfg *ChainFaultsConfig) applyDefaults() {
 	if cfg.Depth <= 0 {
 		cfg.Depth = 1
 	}
@@ -192,25 +196,24 @@ func RunChainFaults(cfg ChainFaultsConfig) *ChainFaultsResult {
 	if cfg.Retry.Backoff == 0 {
 		cfg.Retry.Backoff = sim.Micros(20)
 	}
+}
 
-	eng := sim.NewEngine(cfg.Seed + 1)
-	m := kernel.NewMachine(eng, cfg.Cost, cfg.CPUs)
-	prm := DefaultParams()
-	ingress := NewIngress(prm)
-	rel := &stats.Reliability{}
-	inj := faults.NewInjector(cfg.Plan)
-	inj.Machine("m0", m)
-
+// buildChainTiers wires the per-mode tier chain behind the front
+// process: processes, workers, transports, fault sites, and injector
+// process targets, exactly as RunChain does fault-free. Each hop's
+// transport is passed through wrap (hop index 1..Depth) so callers
+// choose the resilience stack (Retrier, Breaker). On return every
+// element of transports is populated and all init threads have run.
+func buildChainTiers(cfg *ChainFaultsConfig, eng *sim.Engine, m *kernel.Machine,
+	prm *Params, inj *faults.Injector, wrap func(Transport, int) Transport,
+) (front *kernel.Process, rt *core.Runtime, transports []Transport) {
 	// site names the per-call fault stream of the hop into tier i; a
 	// dropped request costs its caller exactly the retry deadline.
 	site := func(i int) *faults.CallSite {
 		return cfg.Plan.Site(fmt.Sprintf("hop%d", i), cfg.Retry.Deadline)
 	}
-	wrap := func(tr Transport) Transport {
-		return &Retrier{Inner: tr, Policy: cfg.Retry, Rel: rel}
-	}
 
-	transports := make([]Transport, cfg.Depth)
+	transports = make([]Transport, cfg.Depth)
 	handler := func(i int) Handler {
 		return func(t *kernel.Thread, op string, payload any) (any, int) {
 			t.ExecUser(cfg.Work)
@@ -223,14 +226,12 @@ func RunChainFaults(cfg ChainFaultsConfig) *ChainFaultsResult {
 		}
 	}
 
-	var front *kernel.Process
-	var rt *core.Runtime
 	switch cfg.Mode {
 	case ModeIdeal:
 		front = m.NewProcess("chain-app")
 		inj.Proc("chain-app", m, front)
 		for i := 1; i <= cfg.Depth; i++ {
-			transports[i-1] = wrap(&DirectTransport{H: handler(i), Faults: site(i)})
+			transports[i-1] = wrap(&DirectTransport{H: handler(i), Faults: site(i)}, i)
 		}
 
 	case ModeLinux:
@@ -244,7 +245,7 @@ func RunChainFaults(cfg ChainFaultsConfig) *ChainFaultsResult {
 			st := NewSockTransport(prm, handler(i))
 			st.Proc = proc
 			st.Faults = site(i)
-			transports[i-1] = wrap(st)
+			transports[i-1] = wrap(st, i)
 			for w := 0; w < cfg.Threads; w++ {
 				m.Spawn(proc, fmt.Sprintf("svc%d-%d", i, w), nil, st.Worker)
 			}
@@ -275,7 +276,7 @@ func RunChainFaults(cfg ChainFaultsConfig) *ChainFaultsResult {
 					}
 					tr := NewDIPCTransport(map[string]*core.ImportedEntry{"hop": ents[0]})
 					tr.Faults = site(i + 1)
-					transports[i] = wrap(tr)
+					transports[i] = wrap(tr, i+1)
 				}
 				eh, err := rt.EntryRegister(t, rt.DomDefault(t), []core.EntryDesc{
 					{Name: "hop", Fn: handlerEntry(handler(i), "hop"), Sig: sig, Policy: calleePolicy},
@@ -297,13 +298,38 @@ func RunChainFaults(cfg ChainFaultsConfig) *ChainFaultsResult {
 			}
 			tr := NewDIPCTransport(map[string]*core.ImportedEntry{"hop": ents[0]})
 			tr.Faults = site(1)
-			transports[0] = wrap(tr)
+			transports[0] = wrap(tr, 1)
 		})
 		eng.Run()
 
 	default:
 		panic("oltp: unknown chain mode")
 	}
+	return front, rt, transports
+}
+
+// RunChainFaults executes one chain configuration under a fault plan.
+// It mirrors RunChain's wiring — same tiers, same transports, same
+// closed-loop clients — but every hop goes through TryCall behind a
+// Retrier, tier failures travel up as RemoteErrors, and the plan's
+// events fire on the sim clock via a faults.Injector. Process targets
+// are named "gateway" and "svc1".."svcN" ("chain-app" for Ideal); the
+// machine target is "m0"; per-call fault sites are "hop1".."hopN".
+func RunChainFaults(cfg ChainFaultsConfig) *ChainFaultsResult {
+	cfg.applyDefaults()
+
+	eng := sim.NewEngine(cfg.Seed + 1)
+	m := kernel.NewMachine(eng, cfg.Cost, cfg.CPUs)
+	prm := DefaultParams()
+	ingress := NewIngress(prm)
+	rel := &stats.Reliability{}
+	inj := faults.NewInjector(cfg.Plan)
+	inj.Machine("m0", m)
+
+	wrap := func(tr Transport, _ int) Transport {
+		return &Retrier{Inner: tr, Policy: cfg.Retry, Rel: rel}
+	}
+	front, rt, transports := buildChainTiers(&cfg, eng, m, prm, inj, wrap)
 
 	// The plan is wired; schedule its events on the sim clock. A plan
 	// naming a target this mode doesn't have (e.g. killing "svc2" under

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// runOverload executes a registered overload scenario at its defaults
+// plus overrides.
+func runOverload(t *testing.T, name string, overrides map[string]string,
+	run func(*scenario.Config) (*scenario.Result, error)) *scenario.Result {
+	t.Helper()
+	s, ok := scenario.Default.Lookup(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	cfg, err := scenario.NewConfig(s, overrides)
+	if err != nil {
+		t.Fatalf("%s config: %v", name, err)
+	}
+	res, err := run(cfg)
+	if err != nil {
+		t.Fatalf("%s run: %v", name, err)
+	}
+	return res
+}
+
+// series finds one series by label.
+func series(t *testing.T, res *scenario.Result, label string) scenario.Series {
+	t.Helper()
+	for _, s := range res.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("%s: no series %q", res.Scenario, label)
+	return scenario.Series{}
+}
+
+// The knee: as offered load climbs through saturation, every
+// transport's p50 and p99 grow monotonically, and the tail past the
+// knee is at least an order of magnitude above the uncontended tail.
+func TestOverloadKneeMonotoneTail(t *testing.T) {
+	res := runOverload(t, "overload-knee",
+		map[string]string{"window": "10ms", "warmup": "3ms"},
+		runOverloadKneeScenario)
+	for _, mode := range kneeModes {
+		for _, q := range []string{" p50", " p99"} {
+			s := series(t, res, mode.String()+q)
+			for i := 1; i < len(s.Points); i++ {
+				if s.Points[i].Y < s.Points[i-1].Y {
+					t.Errorf("%s%s not monotone: %.0fus at %gk > %.0fus at %gk",
+						mode, q, s.Points[i-1].Y, s.Points[i-1].X, s.Points[i].Y, s.Points[i].X)
+				}
+			}
+		}
+		p99 := series(t, res, mode.String()+" p99").Points
+		if last, first := p99[len(p99)-1].Y, p99[0].Y; last < 10*first {
+			t.Errorf("%s p99 grew only %.0fus -> %.0fus across the sweep; no knee visible",
+				mode, first, last)
+		}
+	}
+}
+
+// Past the knee, deadline-aware shedding beats drop-tail: at least one
+// bounded policy (LIFO or token) delivers strictly more goodput than
+// FIFO drop-tail, whose deep queue serves requests nobody is waiting
+// for anymore.
+func TestOverloadShedPolicyBeatsDropTail(t *testing.T) {
+	res := runOverload(t, "overload-shed",
+		map[string]string{"window": "10ms", "warmup": "3ms"},
+		runOverloadShedScenario)
+	fifo := series(t, res, "fifo goodput").Points[0].Y
+	lifo := series(t, res, "lifo goodput").Points[0].Y
+	token := series(t, res, "token goodput").Points[0].Y
+	if lifo <= fifo && token <= fifo {
+		t.Fatalf("no policy beat drop-tail: fifo %.0f, lifo %.0f, token %.0f ops/s",
+			fifo, lifo, token)
+	}
+	// The deadline-aware policies must also hold a tighter admitted
+	// tail than drop-tail's deadline-pinned p99.
+	if fp, lp := series(t, res, "fifo p99 admitted").Points[0].Y,
+		series(t, res, "lifo p99 admitted").Points[0].Y; lp >= fp {
+		t.Errorf("lifo admitted p99 %.0fus not below fifo %.0fus", lp, fp)
+	}
+}
+
+// The storm: with a tier dead for half the window and retries
+// amplifying the outage, the circuit breaker strictly improves
+// availability for every transport.
+func TestOverloadStormBreakerAvailability(t *testing.T) {
+	res := runOverload(t, "overload-storm", nil, runOverloadStormScenario)
+	for _, mode := range stormModes {
+		off := series(t, res, mode.String()+" availability (no breaker)").Points[0].Y
+		on := series(t, res, mode.String()+" availability (breaker)").Points[0].Y
+		if on <= off {
+			t.Errorf("%s: breaker availability %.1f%% <= no-breaker %.1f%%", mode, on, off)
+		}
+		if trips := series(t, res, mode.String()+" breaker trips").Points[0].Y; trips == 0 {
+			t.Errorf("%s: breaker never tripped across a tier crash", mode)
+		}
+	}
+}

@@ -140,9 +140,10 @@ func RunRackChaos(c RackChaosConfig) *RackChaosResult {
 		}
 	}
 
-	// Closed-loop clients with a per-attempt deadline: a Waiter armed
-	// with a timeout wake and (maybe) a completion wake — whichever
-	// fires first wins, the loser is a stale wake the engine discards.
+	// Closed-loop clients with a per-attempt deadline: PrepareTimedWait
+	// arms a Waiter with a timeout wake, the ring may add a completion
+	// wake — whichever fires first wins, the loser is a stale wake the
+	// engine discards.
 	//dipcvet:shard-ok wiring phase: clients spawn onto shard 0's engine before the run
 	eng0 := cl.Shard(0).Engine()
 	for ci := 0; ci < c.Clients; ci++ {
@@ -165,10 +166,8 @@ func RunRackChaos(c RackChaosConfig) *RackChaosResult {
 					}
 					seq++
 					id := seq<<16 | uint64(ci)
-					d := sp.PrepareWait()
-					waiters[ci] = d
+					waiters[ci] = sp.PrepareTimedWait(c.Retry.Deadline)
 					curID[ci] = id
-					d.Wake(c.Retry.Deadline, sim.TimeoutValue())
 					if nics[0].Up() {
 						outs[0].SendU64(nics[0].FlightTime(c.ReqBytes), id)
 					} else if measuring {

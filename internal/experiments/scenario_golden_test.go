@@ -55,6 +55,12 @@ var scenarioGoldens = map[string]struct {
 		"c20c57ea64aaa4fb62eae089670cf9779d542dfa2f364bf0ffd6b5b62bff0cc6", false},
 	"chaos-retrystorm": {map[string]string{"window": "5ms", "warmup": "2ms"},
 		"f0c66941f4676fc9881adc2da2f0d9ce535c2925f831342c719133a4909bf661", false},
+	"overload-knee": {map[string]string{"window": "10ms", "warmup": "3ms"},
+		"850bdbc020ac453b8f241bfd2c2f6a2f25d991ba89fa3f96d51dacf00e872a76", false},
+	"overload-shed": {map[string]string{"window": "10ms", "warmup": "3ms"},
+		"356d3fd19106746a190bf0d5befd44d146cc8e1c34fb08fd4bc7234ff8620269", false},
+	"overload-storm": {nil,
+		"dc143cae409a796a6e8dc2f55ef75bef7189576fe77406935c2e5a02d1fd8fb4", false},
 }
 
 // TestScenarioGoldenCoverage enforces, by iterating the registry, that

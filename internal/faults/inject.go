@@ -20,6 +20,7 @@ type Injector struct {
 	procs     map[string]procTarget
 	machines  map[string]*kernel.Machine
 	links     map[string]linkTarget
+	loads     map[string]loadTarget
 	installed bool
 }
 
@@ -33,6 +34,11 @@ type linkTarget struct {
 	ls  *LinkState
 }
 
+type loadTarget struct {
+	eng *sim.Engine
+	ls  *LoadState
+}
+
 // NewInjector returns an injector for the plan (nil plan: empty plan).
 func NewInjector(plan *Plan) *Injector {
 	return &Injector{
@@ -40,6 +46,7 @@ func NewInjector(plan *Plan) *Injector {
 		procs:    make(map[string]procTarget),
 		machines: make(map[string]*kernel.Machine),
 		links:    make(map[string]linkTarget),
+		loads:    make(map[string]loadTarget),
 	}
 }
 
@@ -58,6 +65,12 @@ func (in *Injector) Machine(name string, m *kernel.Machine) {
 // given engine's shard (the sending side).
 func (in *Injector) Link(name string, eng *sim.Engine, ls *LinkState) {
 	in.links[name] = linkTarget{eng: eng, ls: ls}
+}
+
+// Load registers a load-transient target: the LoadState ls read by a
+// traffic source on the given engine's shard.
+func (in *Injector) Load(name string, eng *sim.Engine, ls *LoadState) {
+	in.loads[name] = loadTarget{eng: eng, ls: ls}
 }
 
 // Install schedules every plan event on its target's engine. It must
@@ -131,6 +144,17 @@ func (in *Injector) resolve(ev Event) (*sim.Engine, func(), error) {
 		default: // LinkRestore
 			return eng, func() { ls.SetExtra(0) }, nil
 		}
+	case LoadScale, LoadRestore:
+		t, ok := in.loads[ev.Target]
+		if !ok {
+			return nil, nil, fmt.Errorf("no load source registered under this name")
+		}
+		ls := t.ls
+		if ev.Kind == LoadScale {
+			factor := ev.Factor
+			return t.eng, func() { ls.SetFactor(factor) }, nil
+		}
+		return t.eng, func() { ls.SetFactor(1) }, nil
 	}
 	return nil, nil, fmt.Errorf("unknown fault kind %d", ev.Kind)
 }

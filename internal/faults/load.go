@@ -1,0 +1,47 @@
+package faults
+
+// LoadState is the offered-load transient of one traffic source: a
+// multiplicative factor applied to the source's arrival rate, driven by
+// LoadScale/LoadRestore plan events. Like LinkState it is a
+// nil-transparent hook owned by one shard — the Injector mutates it via
+// events on the owning engine, only that shard's generator reads it —
+// so a load surge fires on the simulated clock with the same
+// determinism contract as a link failure. A nil *LoadState reads as
+// factor 1 (no transient), so un-faulted wiring costs nothing.
+type LoadState struct {
+	set    bool // false until the first SetFactor; Factor reports 1
+	factor float64
+	surges int64
+}
+
+// Factor returns the current arrival-rate multiplier (1 when no
+// transient is active or the hook is nil).
+func (ls *LoadState) Factor() float64 {
+	if ls == nil || !ls.set {
+		return 1
+	}
+	return ls.factor
+}
+
+// SetFactor installs a rate multiplier (clamped at 0: a transient can
+// silence a source, never make it emit negative traffic). Values other
+// than 1 count as surges for reporting. Like the LinkState mutators it
+// is write-side by contract: not nil-safe, owned by the Injector.
+func (ls *LoadState) SetFactor(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	ls.set = true
+	ls.factor = f
+	if f != 1 {
+		ls.surges++
+	}
+}
+
+// Surges returns how many transients the plan applied to this source.
+func (ls *LoadState) Surges() int64 {
+	if ls == nil {
+		return 0
+	}
+	return ls.surges
+}

@@ -1,0 +1,77 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// A nil LoadState is the transparent hook: factor 1, no surges.
+func TestLoadStateNilTransparent(t *testing.T) {
+	var ls *LoadState
+	if got := ls.Factor(); got != 1 {
+		t.Fatalf("nil Factor = %g, want 1", got)
+	}
+	if got := ls.Surges(); got != 0 {
+		t.Fatalf("nil Surges = %d, want 0", got)
+	}
+}
+
+func TestLoadStateSetFactor(t *testing.T) {
+	ls := &LoadState{}
+	if got := ls.Factor(); got != 1 {
+		t.Fatalf("fresh Factor = %g, want 1", got)
+	}
+	ls.SetFactor(3)
+	if got := ls.Factor(); got != 3 {
+		t.Fatalf("Factor = %g, want 3", got)
+	}
+	ls.SetFactor(-2) // clamps to 0: a silenced source
+	if got := ls.Factor(); got != 0 {
+		t.Fatalf("Factor after clamp = %g, want 0", got)
+	}
+	ls.SetFactor(1) // restore is not a surge
+	if got := ls.Surges(); got != 2 {
+		t.Fatalf("Surges = %d, want 2", got)
+	}
+}
+
+// LoadScale/LoadRestore events fire on the owning engine's clock via
+// the Injector, exactly like link events.
+func TestInjectorLoadEvents(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ls := &LoadState{}
+	plan := &Plan{Events: []Event{
+		{At: sim.Micros(10), Kind: LoadScale, Target: "src", Factor: 4},
+		{At: sim.Micros(30), Kind: LoadRestore, Target: "src"},
+	}}
+	inj := NewInjector(plan)
+	inj.Load("src", eng, ls)
+	if err := inj.Install(); err != nil {
+		t.Fatal(err)
+	}
+
+	var during, after float64
+	eng.At(sim.Micros(20), func() { during = ls.Factor() })
+	eng.At(sim.Micros(40), func() { after = ls.Factor() })
+	eng.RunUntil(sim.Micros(50))
+
+	if during != 4 {
+		t.Errorf("factor during surge = %g, want 4", during)
+	}
+	if after != 1 {
+		t.Errorf("factor after restore = %g, want 1", after)
+	}
+	if got := ls.Surges(); got != 1 {
+		t.Errorf("Surges = %d, want 1", got)
+	}
+}
+
+// An event naming an unregistered load source fails installation loudly.
+func TestInjectorLoadUnknownTarget(t *testing.T) {
+	plan := &Plan{Events: []Event{{At: sim.Micros(1), Kind: LoadScale, Target: "ghost", Factor: 2}}}
+	inj := NewInjector(plan)
+	if err := inj.Install(); err == nil {
+		t.Fatalf("Install succeeded; want error for unregistered load target")
+	}
+}

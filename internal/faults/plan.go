@@ -41,6 +41,12 @@ const (
 	LinkDegrade
 	// LinkRestore clears the extra delay.
 	LinkRestore
+	// LoadScale multiplies the target traffic source's arrival rate by
+	// Event.Factor until LoadRestore (a flash crowd, or with Factor < 1
+	// a brown-out of the source).
+	LoadScale
+	// LoadRestore returns the source to its nominal rate.
+	LoadRestore
 )
 
 func (k Kind) String() string {
@@ -59,6 +65,10 @@ func (k Kind) String() string {
 		return "link-degrade"
 	case LinkRestore:
 		return "link-restore"
+	case LoadScale:
+		return "load-scale"
+	case LoadRestore:
+		return "load-restore"
 	}
 	return "unknown"
 }
@@ -70,6 +80,7 @@ type Event struct {
 	Kind   Kind
 	Target string   // name the wiring registered with the Injector
 	Extra  sim.Time // LinkDegrade: per-delivery extra delay
+	Factor float64  // LoadScale: arrival-rate multiplier
 }
 
 // Plan is a deterministic fault schedule: a typed event list plus the
@@ -124,6 +135,10 @@ var (
 	ErrInjected = errors.New("faults: injected call failure")
 	// ErrDead: the attempt targeted a dead process.
 	ErrDead = errors.New("faults: target process is dead")
+	// ErrRejected: admission control refused the operation before any
+	// work was done on it (a shed request, not a failed one — cheap by
+	// design, counted separately in Reliability.Rejected).
+	ErrRejected = errors.New("faults: rejected by admission control")
 )
 
 // RetryPolicy is the typed parameter block of the error path: a

@@ -20,12 +20,17 @@ type Accumulator struct {
 	// Rel carries the partition's failure-path counters (zero for
 	// failure-free runs; see Reliability).
 	Rel Reliability
+	// Hist is the per-partition latency distribution; AddOp records into
+	// it, Merge folds it elementwise, so shard-local tails combine into
+	// exact global percentiles (see Histogram).
+	Hist Histogram
 }
 
 // AddOp records one completed operation and its latency.
 func (a *Accumulator) AddOp(latency sim.Time) {
 	a.Ops++
 	a.Latency += latency
+	a.Hist.Record(latency)
 }
 
 // Merge folds other into a.
@@ -34,6 +39,7 @@ func (a *Accumulator) Merge(other *Accumulator) {
 	a.Ops += other.Ops
 	a.Latency += other.Latency
 	a.Rel.Merge(other.Rel)
+	a.Hist.Merge(&other.Hist)
 }
 
 // MergeAll combines the accumulators in slice order (partition index

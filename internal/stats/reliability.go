@@ -16,6 +16,7 @@ type Reliability struct {
 	Timeouts  int64 // attempts that ended in a deadline expiry
 	Faults    int64 // attempts that ended in an immediate error
 	Drops     int64 // messages black-holed (down links, dead tiers)
+	Rejected  int64 // operations refused by admission control (subset of OpsFailed)
 }
 
 // Merge folds other into r.
@@ -27,6 +28,7 @@ func (r *Reliability) Merge(other Reliability) {
 	r.Timeouts += other.Timeouts
 	r.Faults += other.Faults
 	r.Drops += other.Drops
+	r.Rejected += other.Rejected
 }
 
 // Sub returns r minus base, the window delta of two snapshots.
@@ -39,6 +41,7 @@ func (r Reliability) Sub(base Reliability) Reliability {
 		Timeouts:  r.Timeouts - base.Timeouts,
 		Faults:    r.Faults - base.Faults,
 		Drops:     r.Drops - base.Drops,
+		Rejected:  r.Rejected - base.Rejected,
 	}
 }
 
@@ -68,6 +71,15 @@ func (r Reliability) Availability() float64 {
 		return float64(r.OpsOK) / float64(tot)
 	}
 	return 1
+}
+
+// RejectRate is the fraction of operations refused by admission control
+// (0 with no ops).
+func (r Reliability) RejectRate() float64 {
+	if tot := r.Ops(); tot > 0 {
+		return float64(r.Rejected) / float64(tot)
+	}
+	return 0
 }
 
 // RetryAmplification is attempts per operation — 1.0 when nothing ever
