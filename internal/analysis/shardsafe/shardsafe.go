@@ -11,15 +11,19 @@
 //
 // Hook nil-transparency: a nil *faults.LinkState or *faults.CallSite is
 // the always-healthy hook, so an empty fault plan costs nothing and
-// changes no digests. That contract has two sides:
+// changes no digests; a nil *oltp.ReplicaHealth is the always-healthy
+// suspicion table under the same contract. It has two sides:
 //
 //   - definition side: every exported pointer-receiver method on a hook
 //     type must begin with a syntactic nil-receiver guard, unless it is
 //     one of the declared write-side mutators (SetDown, SetExtra,
-//     NoteDrop) that only the Injector invokes on states it created;
-//   - call-site side: calls to those mutators outside package faults
-//     must sit under a nil check of the receiver (if ls != nil { ... }
-//     or the else branch of ls == nil), or carry
+//     NoteDrop, SetFactor on the faults hooks; Suspect, Clear on the
+//     health table) that only the owning writer — the Injector, or the
+//     health detector on its owning shard — invokes on states it
+//     created;
+//   - call-site side: calls to those mutators outside the defining
+//     package must sit under a nil check of the receiver (if ls != nil
+//     { ... } or the else branch of ls == nil), or carry
 //     //dipcvet:hook-ok <reason>.
 package shardsafe
 
@@ -54,6 +58,15 @@ var loadStateMutators = map[string]bool{
 	"SetFactor": true,
 }
 
+// replicaHealthMutators are the oltp.ReplicaHealth write-side methods:
+// only the owning health detector (on the owning shard) flips suspicion
+// state, so they are NOT nil-safe and call sites outside package oltp
+// need a nil guard or //dipcvet:hook-ok.
+var replicaHealthMutators = map[string]bool{
+	"Suspect": true,
+	"Clear":   true,
+}
+
 // hookTypes are the nil-transparent hook types checked on the
 // definition side inside package faults.
 var hookTypes = map[string]bool{
@@ -62,12 +75,38 @@ var hookTypes = map[string]bool{
 	"LoadState": true,
 }
 
+// oltpHookTypes are the nil-transparent hook types defined in package
+// oltp: the health detector's suspicion table (read by routing
+// policies, written only by the detector) follows the same contract as
+// the faults hooks.
+var oltpHookTypes = map[string]bool{
+	"ReplicaHealth": true,
+}
+
+// declaredMutator reports whether a hook method is write-side by
+// contract (and so exempt from the definition-side nil-guard rule).
+func declaredMutator(typ, name string) bool {
+	switch typ {
+	case "LinkState":
+		return linkStateMutators[name]
+	case "LoadState":
+		return loadStateMutators[name]
+	case "ReplicaHealth":
+		return replicaHealthMutators[name]
+	}
+	return false
+}
+
 func run(pass *analysis.Pass) {
 	inSim := isPkg(pass.Pkg, "sim")
 	inFaults := isPkg(pass.Pkg, "faults")
+	inOltp := isPkg(pass.Pkg, "oltp")
 	for _, f := range pass.Files {
 		if inFaults {
-			checkHookDefs(pass, f)
+			checkHookDefs(pass, f, hookTypes)
+		}
+		if inOltp {
+			checkHookDefs(pass, f, oltpHookTypes)
 		}
 		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -97,6 +136,11 @@ func run(pass *analysis.Pass) {
 					pass.Reportf(call.Pos(), "faults.(*LoadState).%s is not nil-safe: guard %s against nil or annotate //dipcvet:hook-ok <reason>", fn.Name(), types.ExprString(sel.X))
 				}
 			}
+			if !inOltp && replicaHealthMutators[fn.Name()] && isMethodOn(fn, "oltp", "ReplicaHealth") {
+				if !nilGuarded(sel.X, call, stack) && !pass.Exempted(call.Pos(), "hook-ok") {
+					pass.Reportf(call.Pos(), "oltp.(*ReplicaHealth).%s is detector-only and not nil-safe: guard %s against nil or annotate //dipcvet:hook-ok <reason>", fn.Name(), types.ExprString(sel.X))
+				}
+			}
 			return true
 		})
 	}
@@ -105,20 +149,17 @@ func run(pass *analysis.Pass) {
 // checkHookDefs enforces the definition side of nil-transparency: every
 // exported pointer-receiver method on a hook type either opens with a
 // syntactic nil-receiver guard or is a declared mutator.
-func checkHookDefs(pass *analysis.Pass, f *ast.File) {
+func checkHookDefs(pass *analysis.Pass, f *ast.File, hooks map[string]bool) {
 	for _, decl := range f.Decls {
 		fd, ok := decl.(*ast.FuncDecl)
 		if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
 			continue
 		}
 		typ, recvName := recvInfo(fd)
-		if !hookTypes[typ] {
+		if !hooks[typ] {
 			continue
 		}
-		if typ == "LinkState" && linkStateMutators[fd.Name.Name] {
-			continue
-		}
-		if typ == "LoadState" && loadStateMutators[fd.Name.Name] {
+		if declaredMutator(typ, fd.Name.Name) {
 			continue
 		}
 		if startsWithNilGuard(fd.Body, recvName) {
@@ -252,5 +293,5 @@ func matchPkgPath(path, short string) bool {
 }
 
 func mutatorList() string {
-	return "SetDown, SetExtra, NoteDrop, SetFactor"
+	return "SetDown, SetExtra, NoteDrop, SetFactor, Suspect, Clear"
 }

@@ -11,5 +11,5 @@ func TestShardsafe(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns go list; skipped in -short")
 	}
-	analysistest.Run(t, shardsafe.Analyzer, "shardsafetest", "faults")
+	analysistest.Run(t, shardsafe.Analyzer, "shardsafetest", "faults", "oltp")
 }

@@ -1,0 +1,42 @@
+// Package oltp mimics the real application package's hook type: the
+// definition-side nil-transparency check applies to ReplicaHealth in
+// packages named oltp.
+package oltp
+
+// ReplicaHealth mirrors the real suspicion-table hook's shape.
+type ReplicaHealth struct {
+	suspected []bool
+}
+
+// Suspected is nil-safe via a leading if-guard: not flagged.
+func (h *ReplicaHealth) Suspected(i int) bool {
+	if h == nil || i < 0 || i >= len(h.suspected) {
+		return false
+	}
+	return h.suspected[i]
+}
+
+// Healthy is nil-safe via the guard inside the return: not flagged.
+func (h *ReplicaHealth) Healthy() bool { return h == nil || len(h.suspected) == 0 }
+
+// Suspect is a declared mutator: not flagged.
+func (h *ReplicaHealth) Suspect(i int, now int64) {
+	_ = now
+	h.suspected[i] = true
+}
+
+// Clear is a declared mutator: not flagged.
+func (h *ReplicaHealth) Clear(i int, now int64) {
+	_ = now
+	h.suspected[i] = false
+}
+
+// Reset is neither nil-safe nor a declared mutator.
+func (h *ReplicaHealth) Reset() { // want `\(\*ReplicaHealth\).Reset must start with a nil-receiver guard`
+	for i := range h.suspected {
+		h.suspected[i] = false
+	}
+}
+
+//dipcvet:hook-ok test-only scratch accessor, callers always own non-nil tables
+func (h *ReplicaHealth) Wipe() { h.suspected = h.suspected[:0] }

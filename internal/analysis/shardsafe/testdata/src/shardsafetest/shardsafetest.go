@@ -3,6 +3,7 @@
 package shardsafetest
 
 import (
+	"repro/internal/apps/oltp"
 	"repro/internal/faults"
 	"repro/internal/sim"
 )
@@ -51,6 +52,34 @@ func loadReads(ls *faults.LoadState) float64 {
 		return ls.Factor()
 	}
 	return ls.Factor()
+}
+
+// healthMutators: the ReplicaHealth write side is detector-only and
+// not nil-safe, so bare call sites outside package oltp are flagged
+// while guarded or annotated ones are not.
+func healthMutators(h *oltp.ReplicaHealth, now sim.Time) {
+	h.Suspect(1, now) // want `oltp.\(\*ReplicaHealth\).Suspect is detector-only and not nil-safe`
+	h.Clear(1, now)   // want `oltp.\(\*ReplicaHealth\).Clear is detector-only and not nil-safe`
+	if h != nil {
+		h.Suspect(0, now) // guarded: not flagged
+		h.Clear(0, now)   // guarded: not flagged
+	}
+	if h == nil {
+		_ = now
+	} else {
+		h.Suspect(2, now) // guarded via the else branch: not flagged
+	}
+	//dipcvet:hook-ok the detector only probes tables it allocated, never nil
+	h.Clear(2, now)
+}
+
+// healthReads: ReplicaHealth read-side methods are nil-safe and never
+// flagged.
+func healthReads(h *oltp.ReplicaHealth) int64 {
+	if h.Suspected(0) {
+		return h.Suspicions()
+	}
+	return int64(len(h.Transitions()))
 }
 
 // reads: read-side methods are nil-safe by contract and never flagged.

@@ -28,6 +28,29 @@ const (
 	brHalfOpen
 )
 
+// breakerStateName names a breaker state for transition timelines.
+func breakerStateName(s int) string {
+	switch s {
+	case brClosed:
+		return "closed"
+	case brOpen:
+		return "open"
+	case brHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", s)
+	}
+}
+
+// BreakerTransition is one state change of a Breaker, stamped in sim
+// time — the post-hoc debugging record chaos and failover scenarios
+// export alongside their counters.
+type BreakerTransition struct {
+	At   sim.Time
+	From string
+	To   string
+}
+
 // BreakerConfig parameterizes one Breaker.
 type BreakerConfig struct {
 	// Window is how many recent outcomes the error rate is computed
@@ -80,6 +103,8 @@ type Breaker struct {
 
 	trips     int64
 	fastFails int64
+
+	timeline []BreakerTransition
 }
 
 // NewBreaker wraps inner with a breaker.
@@ -109,7 +134,7 @@ func (b *Breaker) TryCall(t *kernel.Thread, op string, payload any, reqBytes int
 			b.fastFails++
 			return nil, ErrBreakerOpen
 		}
-		b.state = brHalfOpen
+		b.setState(brHalfOpen, now)
 		b.probesLeft = b.cfg.Probes
 		b.probeOK = 0
 		fallthrough
@@ -134,7 +159,7 @@ func (b *Breaker) observe(failed bool, now sim.Time) {
 		}
 		b.probeOK++
 		if b.probeOK >= b.cfg.Probes {
-			b.close()
+			b.close(now)
 		}
 		return
 	}
@@ -158,19 +183,40 @@ func (b *Breaker) observe(failed bool, now sim.Time) {
 
 // trip opens the breaker for a cooldown.
 func (b *Breaker) trip(now sim.Time) {
-	b.state = brOpen
+	b.setState(brOpen, now)
 	b.openUntil = now + b.cfg.Cooldown
 	b.trips++
 }
 
 // close returns to closed with a clean window.
-func (b *Breaker) close() {
-	b.state = brClosed
+func (b *Breaker) close(now sim.Time) {
+	b.setState(brClosed, now)
 	b.ring = 0
 	b.ringI = 0
 	b.ringN = 0
 	b.fails = 0
 }
+
+// setState records the transition on the timeline and switches state.
+// The append allocates, so the state-changing paths (trip, half-open
+// entry, close) sit outside the noalloc contract of the fast path —
+// transitions are rare next to calls.
+func (b *Breaker) setState(to int, now sim.Time) {
+	if b.state == to {
+		return
+	}
+	b.timeline = append(b.timeline, BreakerTransition{
+		At:   now,
+		From: breakerStateName(b.state),
+		To:   breakerStateName(to),
+	})
+	b.state = to
+}
+
+// Transitions returns the breaker's state-change timeline in sim-time
+// order. The slice is owned by the breaker's shard; read it only after
+// the run (or from the owning shard).
+func (b *Breaker) Transitions() []BreakerTransition { return b.timeline }
 
 // Trips is how many times the breaker has opened.
 func (b *Breaker) Trips() int64 { return b.trips }

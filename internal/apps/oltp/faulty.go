@@ -78,6 +78,21 @@ type Retrier struct {
 	// owned by the same shard as every thread calling through this
 	// transport.
 	Rel *stats.Reliability
+	// Jitter is the deterministic stream consumed by backoff jitter
+	// (Policy.Jitter > 0). Nil keeps the exact schedule; like Rel it
+	// must be owned by the calling shard.
+	Jitter *sim.Rand
+}
+
+// retryJitter builds the per-callsite jitter stream for hop number hop
+// when the policy opts into jitter, and the transparent nil stream
+// otherwise — so un-jittered runs never construct (or consume) a stream
+// and stay byte-identical to the pre-jitter engine.
+func retryJitter(rp faults.RetryPolicy, plan *faults.Plan, hop int) *sim.Rand {
+	if rp.Jitter <= 0 {
+		return nil
+	}
+	return plan.JitterStream(fmt.Sprintf("hop%d", hop))
 }
 
 // Call implements Transport.
@@ -100,7 +115,7 @@ func (r *Retrier) TryCall(t *kernel.Thread, op string, payload any, reqBytes int
 			if r.Rel != nil {
 				r.Rel.Retries++
 			}
-			t.SleepFor(r.Policy.BackoffFor(a - 1))
+			t.SleepFor(r.Policy.BackoffJittered(a-1, r.Jitter))
 		}
 		if r.Rel != nil {
 			r.Rel.Attempts++
@@ -326,8 +341,9 @@ func RunChainFaults(cfg ChainFaultsConfig) *ChainFaultsResult {
 	inj := faults.NewInjector(cfg.Plan)
 	inj.Machine("m0", m)
 
-	wrap := func(tr Transport, _ int) Transport {
-		return &Retrier{Inner: tr, Policy: cfg.Retry, Rel: rel}
+	wrap := func(tr Transport, hop int) Transport {
+		return &Retrier{Inner: tr, Policy: cfg.Retry, Rel: rel,
+			Jitter: retryJitter(cfg.Retry, cfg.Plan, hop)}
 	}
 	front, rt, transports := buildChainTiers(&cfg, eng, m, prm, inj, wrap)
 

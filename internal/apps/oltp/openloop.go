@@ -112,13 +112,14 @@ func RunOpenLoop(cfg OpenLoopConfig) *OpenLoopResult {
 	inj.Machine("m0", m)
 
 	var breakers []*Breaker
-	wrap := func(tr Transport, _ int) Transport {
+	wrap := func(tr Transport, hop int) Transport {
 		if cfg.Breaker != nil {
 			br := NewBreaker(tr, *cfg.Breaker)
 			breakers = append(breakers, br)
 			tr = br
 		}
-		return &Retrier{Inner: tr, Policy: cfg.Retry, Rel: rel}
+		return &Retrier{Inner: tr, Policy: cfg.Retry, Rel: rel,
+			Jitter: retryJitter(cfg.Retry, cfg.Plan, hop)}
 	}
 	front, rt, transports := buildChainTiers(&cfg.ChainFaultsConfig, eng, m, prm, inj, wrap)
 

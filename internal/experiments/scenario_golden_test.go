@@ -61,6 +61,12 @@ var scenarioGoldens = map[string]struct {
 		"356d3fd19106746a190bf0d5befd44d146cc8e1c34fb08fd4bc7234ff8620269", false},
 	"overload-storm": {nil,
 		"dc143cae409a796a6e8dc2f55ef75bef7189576fe77406935c2e5a02d1fd8fb4", false},
+	"failover-kill": {map[string]string{"window": "8ms", "warmup": "2ms", "killat": "3ms", "restartat": "5ms"},
+		"756f9a405e842a5744f0bbc13e9109316f6cc84afbdc7131a5871a313da3a32c", false},
+	"failover-flap": {map[string]string{"window": "8ms", "warmup": "2ms"},
+		"56412ac7434671602120e54ed9660235d4e7f393fcae045961103bc1fe0403f9", false},
+	"failover-hedge": {map[string]string{"window": "8ms", "warmup": "2ms"},
+		"2b36611a3dae5674249d02a850b27fa4675a264e79c24677e15a1c6c84ebd7e7", false},
 }
 
 // TestScenarioGoldenCoverage enforces, by iterating the registry, that

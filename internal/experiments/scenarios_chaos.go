@@ -155,6 +155,7 @@ func runChaosRetryStormScenario(cfg *scenario.Config) (*scenario.Result, error) 
 				MaxRetries: cfg.Int("retries"),
 				Backoff:    sim.Micros(float64(bo)),
 				MaxBackoff: 8 * sim.Micros(float64(bo)),
+				Jitter:     cfg.Float("jitter"),
 			},
 		})
 	})
@@ -265,11 +266,15 @@ func init() {
 			scenario.Param("deadlines", scenario.IntList, "100,300", "per-attempt deadlines to sweep (us)"),
 			scenario.Param("retries", scenario.Int, "3", "retries per call after the first attempt"),
 			scenario.Param("backoffs", scenario.IntList, "5,40", "initial backoffs to sweep (us, doubles, capped at 8x)"),
+			scenario.CompatParam("jitter", scenario.Float, "0", "backoff jitter fraction in [0,1] (0: exact exponential schedule; deterministic per-callsite streams)"),
 			shardsParam(),
 		},
 		func(cfg *scenario.Config) error {
 			if p := cfg.Float("pdrop"); p < 0 || p >= 1 {
 				return fmt.Errorf("pdrop %g out of range [0, 1)", p)
+			}
+			if j := cfg.Float("jitter"); j < 0 || j > 1 {
+				return fmt.Errorf("jitter %g out of range [0, 1]", j)
 			}
 			return firstErr(intAtLeast("depth", cfg.Int("depth"), 1),
 				intAtLeast("threads", cfg.Int("threads"), 1),

@@ -55,6 +55,22 @@ func (p *Plan) Site(name string, dropPenalty sim.Time) *CallSite {
 	}
 }
 
+// jitterSalt decorrelates backoff-jitter streams from the CallSite
+// fault streams that share the same plan seed and site name.
+const jitterSalt = 0xa5a5f00dcafe4b1d
+
+// JitterStream returns the named deterministic random stream for
+// RetryPolicy backoff jitter, seeded from the plan's splitmix64 mix of
+// (seed, name) plus a salt so it never correlates with the site's fault
+// draws. Nil plan -> nil stream (the transparent hook: BackoffJittered
+// falls back to the exact schedule).
+func (p *Plan) JitterStream(name string) *sim.Rand {
+	if p == nil {
+		return nil
+	}
+	return sim.NewRand(siteSeed(p.Seed^jitterSalt, name))
+}
+
 // Draw consumes one value from the stream and returns the attempt's
 // fate plus the simulated delay the caller must charge before acting on
 // it (the deadline for a drop, the slowdown for a slow call, 0

@@ -85,6 +85,65 @@ func TestBackoffCappedExponential(t *testing.T) {
 	}
 }
 
+// TestBackoffJitterOffIsExact: with Jitter at its zero default (or a
+// nil stream) the jittered schedule is the exact exponential one — the
+// opt-in knob cannot perturb a pinned digest it was not asked to.
+func TestBackoffJitterOffIsExact(t *testing.T) {
+	rp := RetryPolicy{Backoff: sim.Micros(10), MaxBackoff: sim.Micros(80)}
+	rng := sim.NewRand(42)
+	for i := 0; i < 4; i++ {
+		if got := rp.BackoffJittered(i, rng); got != rp.BackoffFor(i) {
+			t.Errorf("Jitter=0: BackoffJittered(%d) = %v, want %v", i, got, rp.BackoffFor(i))
+		}
+	}
+	rp.Jitter = 0.5
+	for i := 0; i < 4; i++ {
+		if got := rp.BackoffJittered(i, nil); got != rp.BackoffFor(i) {
+			t.Errorf("nil stream: BackoffJittered(%d) = %v, want %v", i, got, rp.BackoffFor(i))
+		}
+	}
+}
+
+// TestBackoffJitterRangeAndDeterminism: jitter only ever shortens the
+// backoff, by at most the jitter fraction, and the same stream replays
+// the same schedule.
+func TestBackoffJitterRangeAndDeterminism(t *testing.T) {
+	rp := RetryPolicy{Backoff: sim.Micros(10), MaxBackoff: sim.Micros(80), Jitter: 0.5}
+	p := &Plan{Seed: 9}
+	a, b := p.JitterStream("hop1"), p.JitterStream("hop1")
+	varied := false
+	for i := 0; i < 64; i++ {
+		retry := i % 4
+		full := rp.BackoffFor(retry)
+		got := rp.BackoffJittered(retry, a)
+		if got > full || got < full-sim.Time(0.5*float64(full)) {
+			t.Fatalf("draw %d: jittered backoff %v outside (%v, %v]", i, got, full/2, full)
+		}
+		if got2 := rp.BackoffJittered(retry, b); got2 != got {
+			t.Fatalf("draw %d: same stream name diverged: %v vs %v", i, got, got2)
+		}
+		if got != full {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("64 jittered draws never moved off the exact schedule")
+	}
+	if s := (*Plan)(nil).JitterStream("hop1"); s != nil {
+		t.Error("nil plan produced a live jitter stream")
+	}
+	c, d := p.JitterStream("hop2"), p.JitterStream("hop1")
+	same := true
+	for i := 0; i < 8; i++ {
+		if rp.BackoffJittered(3, c) != rp.BackoffJittered(3, d) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different callsite names produced identical jitter draws")
+	}
+}
+
 // TestInjectorKillRestartFiresOnSimClock: plan events fire as ordinary
 // engine events at their scheduled instants.
 func TestInjectorKillRestartFiresOnSimClock(t *testing.T) {

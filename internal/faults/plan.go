@@ -155,6 +155,13 @@ type RetryPolicy struct {
 	Backoff sim.Time
 	// MaxBackoff caps the exponential growth (0: uncapped).
 	MaxBackoff sim.Time
+	// Jitter de-synchronizes retry storms: each backoff is shortened by
+	// a uniform draw in [0, Jitter*backoff) from the caller's jitter
+	// stream (see Plan.JitterStream). 0 (the default) keeps the exact
+	// deterministic schedule, so existing digests are untouched; 1 is
+	// full jitter. Callers that pass no stream also get the exact
+	// schedule regardless of Jitter.
+	Jitter float64
 }
 
 // BackoffFor returns the capped exponential backoff before retry number
@@ -171,6 +178,23 @@ func (rp RetryPolicy) BackoffFor(retry int) sim.Time {
 		return rp.MaxBackoff
 	}
 	return d
+}
+
+// BackoffJittered is BackoffFor with the policy's jitter applied: the
+// schedule value shortened by a uniform fraction of itself drawn from
+// rng. With Jitter <= 0 or a nil stream it is exactly BackoffFor —
+// nil-transparent like every other fault hook, so un-jittered callers
+// never pay for (or observe) the draw.
+func (rp RetryPolicy) BackoffJittered(retry int, rng *sim.Rand) sim.Time {
+	d := rp.BackoffFor(retry)
+	if rp.Jitter <= 0 || rng == nil || d <= 0 {
+		return d
+	}
+	j := rp.Jitter
+	if j > 1 {
+		j = 1
+	}
+	return d - sim.Time(j*rng.Float64()*float64(d))
 }
 
 // Attempts is the total attempt budget (first try plus retries).

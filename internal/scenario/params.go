@@ -159,12 +159,19 @@ func FormatDuration(t sim.Time) string {
 // ParamStrings, so they never appear in canonical results or golden
 // digests — a run at shards=4 must be byte-identical to shards=1, and the
 // exclusion makes the digests say so by construction.
+// Compat marks a back-compat parameter: a model knob added after the
+// scenario's digest was pinned, whose declared default reproduces the
+// pre-knob behaviour exactly. Compat parameters are omitted from
+// ParamStrings while they sit at their default, so adding one does not
+// disturb an already-pinned golden digest; once overridden they are
+// recorded (and change the digest) like any other model parameter.
 type ParamSpec struct {
 	Key     string
 	Kind    Kind
 	Default string
 	Doc     string
 	Exec    bool
+	Compat  bool
 }
 
 // Param is a convenience constructor for a ParamSpec.
@@ -175,6 +182,13 @@ func Param(key string, kind Kind, def, doc string) ParamSpec {
 // ExecParam is Param for an execution-only parameter (see ParamSpec.Exec).
 func ExecParam(key string, kind Kind, def, doc string) ParamSpec {
 	return ParamSpec{Key: key, Kind: kind, Default: def, Doc: doc, Exec: true}
+}
+
+// CompatParam is Param for a post-pinning back-compat parameter (see
+// ParamSpec.Compat). The default MUST leave the scenario's behaviour
+// byte-identical to before the parameter existed.
+func CompatParam(key string, kind Kind, def, doc string) ParamSpec {
+	return ParamSpec{Key: key, Kind: kind, Default: def, Doc: doc, Compat: true}
 }
 
 // Config carries a scenario's resolved parameter values: the declared
@@ -273,14 +287,21 @@ func (c *Config) Ints(key string) []int { return c.value(key).([]int) }
 // string form, the map recorded in Result.Params and BenchReport
 // entries. Execution-only parameters (ParamSpec.Exec) are omitted: they
 // are not allowed to change results, so they must not change the
-// canonical encoding either.
+// canonical encoding either. Back-compat parameters (ParamSpec.Compat)
+// are omitted only while their resolved value still formats to the
+// declared default, so pinning survives the parameter's introduction
+// but any override is faithfully recorded.
 func (c *Config) ParamStrings() map[string]string {
 	out := make(map[string]string, len(c.specs))
 	for _, spec := range c.specs {
 		if spec.Exec {
 			continue
 		}
-		out[spec.Key] = spec.Kind.Format(c.values[spec.Key])
+		v := spec.Kind.Format(c.values[spec.Key])
+		if spec.Compat && v == spec.Default {
+			continue
+		}
+		out[spec.Key] = v
 	}
 	if len(out) == 0 {
 		return nil

@@ -111,6 +111,42 @@ func TestConfigDefaultsAndOverrides(t *testing.T) {
 	}
 }
 
+// TestCompatParamOmittedAtDefault pins the back-compat contract: a
+// Compat parameter left at its declared default stays out of the
+// canonical parameter map (so pre-existing digests survive the knob's
+// introduction), while any other value is recorded like a normal
+// parameter.
+func TestCompatParamOmittedAtDefault(t *testing.T) {
+	s := stub("cfg-compat",
+		Param("threads", Int, "8", "workers"),
+		CompatParam("jitter", Float, "0", "late-added knob"),
+	)
+	cfg, err := NewConfig(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps := cfg.ParamStrings(); ps["threads"] != "8" {
+		t.Fatalf("ParamStrings = %v", ps)
+	} else if _, ok := ps["jitter"]; ok {
+		t.Fatalf("compat param at its default leaked into ParamStrings: %v", ps)
+	}
+	// Explicitly restating the default is still the default behaviour.
+	cfg, err = NewConfig(s, map[string]string{"jitter": "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cfg.ParamStrings()["jitter"]; ok {
+		t.Fatalf("compat param explicitly at its default leaked into ParamStrings")
+	}
+	cfg, err = NewConfig(s, map[string]string{"jitter": "0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.ParamStrings()["jitter"]; got != "0.5" {
+		t.Fatalf("overridden compat param = %q, want 0.5", got)
+	}
+}
+
 func TestConfigRejectsUnknownKeyNamingValidOnes(t *testing.T) {
 	s := stub("cfg-unknown", Param("depth", IntList, "1,2", "tiers"), Param("threads", Int, "8", "workers"))
 	_, err := NewConfig(s, map[string]string{"bogus": "1"})

@@ -17,6 +17,22 @@ type Reliability struct {
 	Faults    int64 // attempts that ended in an immediate error
 	Drops     int64 // messages black-holed (down links, dead tiers)
 	Rejected  int64 // operations refused by admission control (subset of OpsFailed)
+
+	// Replication & failover counters (zero when the workload runs
+	// unreplicated, so the struct stays drop-in for every older runner).
+	Failovers     int64 // attempts routed away from the policy's first choice
+	Hedges        int64 // hedged duplicate requests issued
+	HedgeWins     int64 // operations won by the hedged duplicate
+	HedgeLosses   int64 // hedges issued whose primary still won
+	Cancelled     int64 // stale completions discarded after timeout/first-response
+	Suspicions    int64 // health-detector suspect transitions
+	FalseSuspects int64 // suspect transitions while the replica was in fact alive
+	Detections    int64 // suspect transitions that matched a real crash
+
+	// DetectLatency sums kill-to-suspicion time over Detections; divide
+	// by Detections for the mean (sums of exact integers merge shard-
+	// deterministically where a float mean would not).
+	DetectLatency sim.Time
 }
 
 // Merge folds other into r.
@@ -29,6 +45,15 @@ func (r *Reliability) Merge(other Reliability) {
 	r.Faults += other.Faults
 	r.Drops += other.Drops
 	r.Rejected += other.Rejected
+	r.Failovers += other.Failovers
+	r.Hedges += other.Hedges
+	r.HedgeWins += other.HedgeWins
+	r.HedgeLosses += other.HedgeLosses
+	r.Cancelled += other.Cancelled
+	r.Suspicions += other.Suspicions
+	r.FalseSuspects += other.FalseSuspects
+	r.Detections += other.Detections
+	r.DetectLatency += other.DetectLatency
 }
 
 // Sub returns r minus base, the window delta of two snapshots.
@@ -42,6 +67,16 @@ func (r Reliability) Sub(base Reliability) Reliability {
 		Faults:    r.Faults - base.Faults,
 		Drops:     r.Drops - base.Drops,
 		Rejected:  r.Rejected - base.Rejected,
+
+		Failovers:     r.Failovers - base.Failovers,
+		Hedges:        r.Hedges - base.Hedges,
+		HedgeWins:     r.HedgeWins - base.HedgeWins,
+		HedgeLosses:   r.HedgeLosses - base.HedgeLosses,
+		Cancelled:     r.Cancelled - base.Cancelled,
+		Suspicions:    r.Suspicions - base.Suspicions,
+		FalseSuspects: r.FalseSuspects - base.FalseSuspects,
+		Detections:    r.Detections - base.Detections,
+		DetectLatency: r.DetectLatency - base.DetectLatency,
 	}
 }
 
@@ -78,6 +113,33 @@ func (r Reliability) Availability() float64 {
 func (r Reliability) RejectRate() float64 {
 	if tot := r.Ops(); tot > 0 {
 		return float64(r.Rejected) / float64(tot)
+	}
+	return 0
+}
+
+// HedgeWinRate is the fraction of hedged duplicates that won their
+// operation (0 with no hedges issued).
+func (r Reliability) HedgeWinRate() float64 {
+	if r.Hedges > 0 {
+		return float64(r.HedgeWins) / float64(r.Hedges)
+	}
+	return 0
+}
+
+// FalsePositiveRate is the fraction of health-detector suspicions that
+// accused a live replica (0 with no suspicions).
+func (r Reliability) FalsePositiveRate() float64 {
+	if r.Suspicions > 0 {
+		return float64(r.FalseSuspects) / float64(r.Suspicions)
+	}
+	return 0
+}
+
+// MeanDetectLatency is the mean kill-to-suspicion time over real
+// detections (0 with none).
+func (r Reliability) MeanDetectLatency() sim.Time {
+	if r.Detections > 0 {
+		return r.DetectLatency / sim.Time(r.Detections)
 	}
 	return 0
 }
